@@ -1,0 +1,414 @@
+// Benchmarks regenerating every figure (F1-F12) and table-style claim
+// (T1-T8) of the paper; DESIGN.md maps each benchmark to the paper
+// artifact and the implementing modules. Run:
+//
+//	go test -bench=. -benchmem
+package otisnet
+
+import (
+	"testing"
+
+	"otisnet/internal/analysis"
+	"otisnet/internal/collective"
+	"otisnet/internal/control"
+	"otisnet/internal/core"
+	"otisnet/internal/digraph"
+	"otisnet/internal/embed"
+	"otisnet/internal/hypergraph"
+	"otisnet/internal/imase"
+	"otisnet/internal/kautz"
+	"otisnet/internal/ops"
+	"otisnet/internal/optical"
+	"otisnet/internal/otis"
+	"otisnet/internal/otisnets"
+	"otisnet/internal/pops"
+	"otisnet/internal/sim"
+	"otisnet/internal/stackkautz"
+)
+
+// BenchmarkFig01OTISPermutation builds the OTIS(3,6) transpose of Figure 1
+// and checks it is a bijection.
+func BenchmarkFig01OTISPermutation(b *testing.B) {
+	o := otis.New(3, 6)
+	for i := 0; i < b.N; i++ {
+		p := o.Permutation()
+		if !otis.IsPermutation(p) {
+			b.Fatal("not a permutation")
+		}
+	}
+}
+
+// BenchmarkFig02OPSBroadcast performs the degree-4 coupler broadcast of
+// Figure 2.
+func BenchmarkFig02OPSBroadcast(b *testing.B) {
+	c := ops.NewDegree(4)
+	for i := 0; i < b.N; i++ {
+		out := c.Broadcast(i%4, 1.0)
+		if out[0] != 0.25 {
+			b.Fatal("wrong split")
+		}
+	}
+}
+
+// BenchmarkFig03Hyperarc builds the hyperarc model of Figure 3 and checks
+// one-to-many reachability.
+func BenchmarkFig03Hyperarc(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		h := hypergraph.New(8)
+		h.AddHyperarc([]int{0, 1, 2, 3}, []int{4, 5, 6, 7})
+		if !h.Reachable(0, 7) {
+			b.Fatal("unreachable")
+		}
+	}
+}
+
+// BenchmarkFig04POPSBuild constructs POPS(4,2) of Figure 4.
+func BenchmarkFig04POPSBuild(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		p := pops.New(4, 2)
+		if p.Couplers() != 4 {
+			b.Fatal("wrong coupler count")
+		}
+	}
+}
+
+// BenchmarkFig05StackModel builds the ς(4,K+2) model of Figure 5 and
+// checks single-hop diameter.
+func BenchmarkFig05StackModel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sg := hypergraph.NewStackGraph(4, digraph.CompleteWithLoops(2))
+		if sg.Diameter() != 1 {
+			b.Fatal("wrong diameter")
+		}
+	}
+}
+
+// BenchmarkFig06LineDigraph iterates L^2(K3) = KG(2,3) (Figure 6) and
+// verifies the isomorphism.
+func BenchmarkFig06LineDigraph(b *testing.B) {
+	kg := kautz.New(2, 3)
+	for i := 0; i < b.N; i++ {
+		l := digraph.LineDigraphPower(digraph.Complete(3), 2)
+		if !digraph.Isomorphic(kg.Digraph(), l) {
+			b.Fatal("not isomorphic")
+		}
+	}
+}
+
+// BenchmarkFig07StackKautzBuild constructs SK(6,3,2) of Figure 7.
+func BenchmarkFig07StackKautzBuild(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		n := stackkautz.New(6, 3, 2)
+		if n.N() != 72 {
+			b.Fatal("wrong size")
+		}
+	}
+}
+
+// BenchmarkFig08GroupInput assembles the Figure 8 building block
+// (6 processors -> 4 multiplexers via OTIS(6,4)).
+func BenchmarkFig08GroupInput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		nl := optical.NewNetlist()
+		txs, muxes := core.BuildGroupInput(nl, 6, 4, "g")
+		if len(txs) != 6 || len(muxes) != 4 {
+			b.Fatal("wrong block")
+		}
+	}
+}
+
+// BenchmarkFig09GroupOutput assembles the Figure 9 building block
+// (3 splitters -> 5 processors via OTIS(3,5)).
+func BenchmarkFig09GroupOutput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		nl := optical.NewNetlist()
+		sp, rx := core.BuildGroupOutput(nl, 3, 5, "g")
+		if len(sp) != 3 || len(rx) != 5 {
+			b.Fatal("wrong block")
+		}
+	}
+}
+
+// BenchmarkFig10Prop1 verifies Proposition 1 for II(3,12) via OTIS(3,12)
+// (Figure 10), exactly over all nodes.
+func BenchmarkFig10Prop1(b *testing.B) {
+	r := otis.NewImaseRealization(3, 12)
+	for i := 0; i < b.N; i++ {
+		if err := r.Verify(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig11POPSDesign builds and fully verifies the POPS(4,2) optical
+// design of Figure 11 (trace of every beam).
+func BenchmarkFig11POPSDesign(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		d := core.DesignPOPS(4, 2)
+		if err := d.Verify(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig12SKDesign builds and fully verifies the SK(6,3,2) optical
+// design of Figure 12 (trace of all 288 beams through 277 components).
+func BenchmarkFig12SKDesign(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		d := core.DesignStackKautz(6, 3, 2)
+		if err := d.Verify(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkT1KautzScaling builds the Kautz parameter table of §2.5.
+func BenchmarkT1KautzScaling(b *testing.B) {
+	params := []struct{ d, k int }{{2, 3}, {3, 2}, {3, 3}, {4, 2}}
+	for i := 0; i < b.N; i++ {
+		for _, p := range params {
+			kg := kautz.New(p.d, p.k)
+			if kg.Digraph().Diameter() != p.k {
+				b.Fatal("wrong diameter")
+			}
+		}
+	}
+}
+
+// BenchmarkT2IIDiameter sweeps Imase-Itoh diameters against the
+// ⌈log_d n⌉ bound of §2.6.
+func BenchmarkT2IIDiameter(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for n := 5; n <= 30; n++ {
+			ii := imase.New(3, n)
+			if d := ii.Digraph().Diameter(); d > imase.DiameterBound(3, n) {
+				b.Fatal("bound violated")
+			}
+		}
+	}
+}
+
+// BenchmarkT3POPSCount recomputes POPS parameter identities.
+func BenchmarkT3POPSCount(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		p := pops.New(16, 8)
+		if p.N() != 128 || p.Couplers() != 64 {
+			b.Fatal("wrong parameters")
+		}
+	}
+}
+
+// BenchmarkT4SKCount recomputes stack-Kautz parameter identities.
+func BenchmarkT4SKCount(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		n := stackkautz.New(8, 3, 3)
+		if n.N() != 288 || n.Couplers() != 144 {
+			b.Fatal("wrong parameters")
+		}
+	}
+}
+
+// BenchmarkT5DesignBOM builds the §4 designs and extracts their bills of
+// materials.
+func BenchmarkT5DesignBOM(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		d := core.DesignStackKautz(6, 3, 2)
+		bom, _ := d.NL.BOM()
+		if bom["OTIS(6,4)"] != 12 || bom["MUX(6)"] != 48 {
+			b.Fatal("wrong BOM")
+		}
+	}
+}
+
+// BenchmarkT6FaultRouting measures fault-tolerant routing (≤ k+2 hops,
+// d-1 faults) on KG(3,3).
+func BenchmarkT6FaultRouting(b *testing.B) {
+	kg := kautz.New(3, 3)
+	faulty := map[int]bool{5: true, 17: true}
+	fs := func(w kautz.Label) bool { return faulty[kg.Index(w)] }
+	for i := 0; i < b.N; i++ {
+		src := kg.LabelOf(i % kg.N())
+		dst := kg.LabelOf((i*7 + 3) % kg.N())
+		if kg.Index(src) == kg.Index(dst) || faulty[kg.Index(src)] || faulty[kg.Index(dst)] {
+			continue
+		}
+		p, _ := kg.RouteAvoiding(src, dst, fs)
+		if p == nil || len(p)-1 > 5 {
+			b.Fatal("fault routing failed")
+		}
+	}
+}
+
+// BenchmarkT7SimThroughput runs the uniform-traffic comparison point
+// (SK(6,3,2), rate 0.2) of the simulation campaign.
+func BenchmarkT7SimThroughput(b *testing.B) {
+	topo := sim.NewStackTopology(stackkautz.New(6, 3, 2).StackGraph())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := sim.Run(topo, sim.UniformTraffic{Rate: 0.2}, 200, 200, sim.Config{Seed: int64(i)})
+		if m.Delivered == 0 {
+			b.Fatal("nothing delivered")
+		}
+	}
+}
+
+// BenchmarkT8OTISAsII identifies OTIS(3,12) with II(3,12) and re-verifies
+// Proposition 1 (the conclusion's corollary).
+func BenchmarkT8OTISAsII(b *testing.B) {
+	o := otis.New(3, 12)
+	for i := 0; i < b.N; i++ {
+		d, n := o.AsImaseItoh()
+		if err := otis.NewImaseRealization(d, n).Verify(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationIsoRefinement compares isomorphism testing with the
+// paper-scale graphs (the refinement ablation DESIGN.md calls out): KG(3,3)
+// against a relabeled copy.
+func BenchmarkAblationIsoRefinement(b *testing.B) {
+	g := kautz.New(3, 3).Digraph()
+	h := g.Clone()
+	for i := 0; i < b.N; i++ {
+		if !digraph.Isomorphic(g, h) {
+			b.Fatal("must be isomorphic")
+		}
+	}
+}
+
+// BenchmarkAblationDeflection compares store-and-forward against
+// hot-potato deflection on the same saturated workload.
+func BenchmarkAblationDeflection(b *testing.B) {
+	topo := sim.NewStackTopology(stackkautz.New(6, 3, 2).StackGraph())
+	b.Run("store-and-forward", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sim.Run(topo, sim.UniformTraffic{Rate: 0.8}, 200, 100, sim.Config{Seed: 1})
+		}
+	})
+	b.Run("hot-potato", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sim.Run(topo, sim.UniformTraffic{Rate: 0.8}, 200, 100, sim.Config{Seed: 1, Deflection: true})
+		}
+	})
+}
+
+// BenchmarkT9Collectives builds and executes the SK(6,3,2) broadcast
+// schedule (experiment T9).
+func BenchmarkT9Collectives(b *testing.B) {
+	n := stackkautz.New(6, 3, 2)
+	src := stackkautz.Address{Group: n.Kautz().LabelOf(0), Member: 0}
+	for i := 0; i < b.N; i++ {
+		s := collective.SKBroadcast(n, src)
+		if !s.Execute(n.StackGraph()).BroadcastComplete(n.NodeID(src)) {
+			b.Fatal("broadcast incomplete")
+		}
+	}
+}
+
+// BenchmarkT10TDMAFrame builds and validates the SK(6,3,2) TDMA access
+// frame (experiment T10).
+func BenchmarkT10TDMAFrame(b *testing.B) {
+	sg := stackkautz.New(6, 3, 2).StackGraph()
+	for i := 0; i < b.N; i++ {
+		frame := control.TDMAFrame(sg)
+		if err := frame.Validate(sg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkT11WDM runs the saturated WDM comparison point (w = 4) of
+// experiment T11.
+func BenchmarkT11WDM(b *testing.B) {
+	topo := sim.NewStackTopology(stackkautz.New(6, 3, 2).StackGraph())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := sim.Run(topo, sim.UniformTraffic{Rate: 0.9}, 200, 0,
+			sim.Config{Seed: int64(i), Wavelengths: 4})
+		if m.Delivered == 0 {
+			b.Fatal("nothing delivered")
+		}
+	}
+}
+
+// BenchmarkT12CostModel computes the full cost-model table of experiment
+// T12.
+func BenchmarkT12CostModel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := []analysis.Cost{
+			analysis.POPSCost(16, 8),
+			analysis.StackKautzCost(6, 3, 2),
+			analysis.DeBruijnCost(3, 4),
+		}
+		if analysis.FormatTable(rows) == "" {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+// BenchmarkT12OTISNetworks builds the OTIS-Hypercube of [24] and computes
+// its diameter (experiment T12, conclusion's corollary).
+func BenchmarkT12OTISNetworks(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		n := otisnets.New(otisnets.NewHypercubeFactor(3))
+		if n.Digraph().Diameter() != 7 {
+			b.Fatal("wrong diameter")
+		}
+	}
+}
+
+// BenchmarkEmbedRingIntoSK measures the dilation-1 directed-ring embedding
+// into SK (Hamiltonian-cycle based).
+func BenchmarkEmbedRingIntoSK(b *testing.B) {
+	n := stackkautz.New(3, 2, 2)
+	for i := 0; i < b.N; i++ {
+		e, err := embed.DirectedRingIntoStackKautz(n)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if m := e.Measure(); m.Dilation != 1 {
+			b.Fatal("dilation should be 1")
+		}
+	}
+}
+
+// BenchmarkAblationLabelVsTable quantifies §2.5's "routing is very simple"
+// claim: label-induced routing (O(k) work, zero state) against a
+// precomputed N×N next-hop table (O(1) per hop, O(N²) memory), on KG(4,3)
+// (80 vertices).
+func BenchmarkAblationLabelVsTable(b *testing.B) {
+	kg := kautz.New(4, 3)
+	table := kg.BuildRoutingTable()
+	pairs := make([][2]int, 256)
+	for i := range pairs {
+		pairs[i] = [2]int{(i * 13) % kg.N(), (i*29 + 7) % kg.N()}
+	}
+	b.Run("label", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			p := pairs[i%len(pairs)]
+			if p[0] == p[1] {
+				continue
+			}
+			if kautz.Route(kg.LabelOf(p[0]), kg.LabelOf(p[1])) == nil {
+				b.Fatal("no route")
+			}
+		}
+	})
+	b.Run("table", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			p := pairs[i%len(pairs)]
+			if p[0] == p[1] {
+				continue
+			}
+			if table.PathVia(p[0], p[1]) == nil {
+				b.Fatal("no route")
+			}
+		}
+	})
+	b.Run("table-build", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			kg.BuildRoutingTable()
+		}
+	})
+}

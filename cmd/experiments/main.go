@@ -1,0 +1,356 @@
+// Command experiments runs the full reproduction campaign: every numeric
+// claim and construction of the paper (experiments T1-T8 of DESIGN.md) is
+// recomputed and printed as a markdown table, ready to paste into
+// EXPERIMENTS.md. Figures F1-F12 are covered by cmd/figures and the test
+// suite; this command covers the quantitative side.
+//
+//	go run ./cmd/experiments          # all experiments
+//	go run ./cmd/experiments -only T6 # one experiment
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strings"
+
+	"otisnet/internal/analysis"
+	"otisnet/internal/collective"
+	"otisnet/internal/control"
+	"otisnet/internal/core"
+	"otisnet/internal/digraph"
+	"otisnet/internal/imase"
+	"otisnet/internal/kautz"
+	"otisnet/internal/otis"
+	"otisnet/internal/otisnets"
+	"otisnet/internal/pops"
+	"otisnet/internal/sim"
+	"otisnet/internal/stackkautz"
+)
+
+func main() {
+	only := flag.String("only", "", "run a single experiment (T1..T8)")
+	flag.Parse()
+	experiments := []struct {
+		id  string
+		fn  func() string
+		hdr string
+	}{
+		{"T1", t1, "Kautz graph parameters (§2.5)"},
+		{"T2", t2, "Imase-Itoh diameter and Kautz equivalence (§2.6)"},
+		{"T3", t3, "POPS parameters (§2.4)"},
+		{"T4", t4, "stack-Kautz parameters (§2.7, §4.2)"},
+		{"T5", t5, "design bills of materials (§4)"},
+		{"T6", t6, "fault-tolerant routing: ≤ k+2 hops under ≤ d-1 faults (§2.5)"},
+		{"T7", t7, "traffic simulation: SK vs POPS vs de Bruijn"},
+		{"T8", t8, "OTIS viewed as an Imase-Itoh graph (conclusion)"},
+		{"T9", t9, "collective communication: schedule lengths vs lower bounds"},
+		{"T10", t10, "distributed control: TDMA frame lengths"},
+		{"T11", t11, "WDM extension: wavelengths vs saturated throughput"},
+		{"T12", t12, "cost model and OTIS-based networks of [24]"},
+	}
+	ran := false
+	for _, e := range experiments {
+		if *only != "" && e.id != *only {
+			continue
+		}
+		ran = true
+		fmt.Printf("## %s — %s\n\n%s\n", e.id, e.hdr, e.fn())
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "experiments: unknown id %q\n", *only)
+		os.Exit(2)
+	}
+}
+
+func t1() string {
+	var b strings.Builder
+	b.WriteString("| d | k | N = d^{k-1}(d+1) | degree | diameter | Eulerian | Hamiltonian |\n")
+	b.WriteString("|---|---|---|---|---|---|---|\n")
+	for _, p := range []struct{ d, k int }{{2, 1}, {2, 2}, {2, 3}, {2, 4}, {3, 2}, {3, 3}, {4, 2}, {4, 3}, {5, 2}} {
+		kg := kautz.New(p.d, p.k)
+		g := kg.Digraph()
+		ham := "-"
+		if kg.N() <= 40 {
+			ham = fmt.Sprint(g.HamiltonianCycle() != nil)
+		}
+		fmt.Fprintf(&b, "| %d | %d | %d | %d | %d | %v | %s |\n",
+			p.d, p.k, kg.N(), g.MaxOutDegree(), g.Diameter(), g.IsEulerian(), ham)
+	}
+	fmt.Fprintf(&b, "\nPaper erratum: §2.5 says \"KG(5,4) has N = 3750 nodes\"; the formula gives %d (3750 is KG(5,5) = %d).\n",
+		kautz.N(5, 4), kautz.N(5, 5))
+	return b.String()
+}
+
+func t2() string {
+	var b strings.Builder
+	b.WriteString("| d | n | BFS diameter | ⌈log_d n⌉ | bound holds | Kautz order? |\n")
+	b.WriteString("|---|---|---|---|---|---|\n")
+	for _, p := range []struct{ d, n int }{{2, 6}, {2, 8}, {2, 12}, {3, 12}, {3, 20}, {3, 36}, {4, 17}, {4, 20}, {5, 30}} {
+		ii := imase.New(p.d, p.n)
+		diam := ii.Digraph().Diameter()
+		bound := imase.DiameterBound(p.d, p.n)
+		kStr := "no"
+		if k, ok := imase.KautzOrder(p.d, p.n); ok {
+			iso := "iso NOT verified"
+			if _, isK := ii.IsKautz(); isK {
+				iso = "≅ verified"
+			}
+			kStr = fmt.Sprintf("KG(%d,%d) %s", p.d, k, iso)
+		}
+		fmt.Fprintf(&b, "| %d | %d | %d | %d | %v | %s |\n",
+			p.d, p.n, diam, bound, diam <= bound, kStr)
+	}
+	return b.String()
+}
+
+func t3() string {
+	var b strings.Builder
+	b.WriteString("| t | g | N = tg | couplers = g² | coupler degree | hop diameter |\n")
+	b.WriteString("|---|---|---|---|---|---|\n")
+	for _, p := range []struct{ t, g int }{{4, 2}, {8, 4}, {16, 8}, {32, 8}, {9, 12}} {
+		pn := pops.New(p.t, p.g)
+		fmt.Fprintf(&b, "| %d | %d | %d | %d | %d | %d |\n",
+			p.t, p.g, pn.N(), pn.Couplers(), p.t, pn.StackGraph().Diameter())
+	}
+	return b.String()
+}
+
+func t4() string {
+	var b strings.Builder
+	b.WriteString("| s | d | k | N | groups | couplers | node degree | diameter |\n")
+	b.WriteString("|---|---|---|---|---|---|---|---|\n")
+	for _, p := range []struct{ s, d, k int }{{6, 3, 2}, {2, 2, 2}, {4, 2, 3}, {8, 3, 3}, {16, 4, 2}} {
+		n := stackkautz.New(p.s, p.d, p.k)
+		fmt.Fprintf(&b, "| %d | %d | %d | %d | %d | %d | %d | %d |\n",
+			p.s, p.d, p.k, n.N(), n.Groups(), n.Couplers(), n.Degree(), n.Diameter())
+	}
+	return b.String()
+}
+
+func t5() string {
+	var b strings.Builder
+	for _, d := range []*core.Design{
+		core.DesignPOPS(4, 2),
+		core.DesignStackKautz(6, 3, 2),
+		core.DesignStackKautz(4, 2, 3),
+		core.DesignStackImase(4, 3, 20),
+	} {
+		status := "verified"
+		if err := d.Verify(); err != nil {
+			status = "FAILED: " + err.Error()
+		}
+		fmt.Fprintf(&b, "%s [%s]\n", d.BOMSummary(), status)
+	}
+	return b.String()
+}
+
+func t6() string {
+	var b strings.Builder
+	b.WriteString("| d | k | trials | survived | max hops | k+2 | label-family hit rate |\n")
+	b.WriteString("|---|---|---|---|---|---|---|\n")
+	for _, p := range []struct{ d, k int }{{2, 2}, {2, 3}, {3, 2}, {3, 3}, {4, 2}} {
+		kg := kautz.New(p.d, p.k)
+		rng := rand.New(rand.NewSource(int64(17*p.d + p.k)))
+		trials, survived, maxHops, familyHits := 0, 0, 0, 0
+		for i := 0; i < 500; i++ {
+			u, v := rng.Intn(kg.N()), rng.Intn(kg.N())
+			if u == v {
+				continue
+			}
+			faulty := map[int]bool{}
+			for len(faulty) < p.d-1 {
+				f := rng.Intn(kg.N())
+				if f != u && f != v {
+					faulty[f] = true
+				}
+			}
+			trials++
+			path, viaFamily := kg.RouteAvoiding(kg.LabelOf(u), kg.LabelOf(v),
+				func(w kautz.Label) bool { return faulty[kg.Index(w)] })
+			if path == nil {
+				continue
+			}
+			survived++
+			if viaFamily {
+				familyHits++
+			}
+			if h := len(path) - 1; h > maxHops {
+				maxHops = h
+			}
+		}
+		fmt.Fprintf(&b, "| %d | %d | %d | %d | %d | %d | %.1f%% |\n",
+			p.d, p.k, trials, survived, maxHops, p.k+2,
+			100*float64(familyHits)/float64(trials))
+	}
+	return b.String()
+}
+
+func t7() string {
+	var b strings.Builder
+	b.WriteString("comparable scale: SK(6,3,2) N=72 | POPS(9,8) N=72 | deBruijn(3,4) N=81 (point-to-point)\n\n")
+	b.WriteString("| network | traffic | rate | throughput/slot | avg latency | avg hops | per-node thr |\n")
+	b.WriteString("|---|---|---|---|---|---|---|\n")
+	type cand struct {
+		name string
+		topo sim.Topology
+	}
+	cands := []cand{
+		{"SK(6,3,2)", sim.NewStackTopology(stackkautz.New(6, 3, 2).StackGraph())},
+		{"POPS(9,8)", sim.NewStackTopology(pops.New(9, 8).StackGraph())},
+		{"deBruijn(3,4)", sim.NewPointToPointTopology(kautz.NewDeBruijn(3, 4).Digraph())},
+	}
+	for _, rate := range []float64{0.05, 0.2, 0.5} {
+		for _, c := range cands {
+			m := sim.Run(c.topo, sim.UniformTraffic{Rate: rate}, 2000, 4000, sim.Config{Seed: 42})
+			fmt.Fprintf(&b, "| %s | uniform | %.2f | %.3f | %.2f | %.2f | %.4f |\n",
+				c.name, rate, m.Throughput(), m.AvgLatency(), m.AvgHops(),
+				m.Throughput()/float64(c.topo.Nodes()))
+		}
+	}
+	for _, c := range cands {
+		m := sim.Run(c.topo, sim.HotspotTraffic{Rate: 0.2, Hot: 0, Fraction: 0.3},
+			2000, 6000, sim.Config{Seed: 42})
+		fmt.Fprintf(&b, "| %s | hotspot | 0.20 | %.3f | %.2f | %.2f | %.4f |\n",
+			c.name, m.Throughput(), m.AvgLatency(), m.AvgHops(),
+			m.Throughput()/float64(c.topo.Nodes()))
+	}
+	// Deflection ablation on SK.
+	for _, deflect := range []bool{false, true} {
+		m := sim.Run(cands[0].topo, sim.UniformTraffic{Rate: 0.5}, 2000, 4000,
+			sim.Config{Seed: 42, Deflection: deflect})
+		mode := "store-and-forward"
+		if deflect {
+			mode = "hot-potato"
+		}
+		fmt.Fprintf(&b, "| SK(6,3,2) %s | uniform | 0.50 | %.3f | %.2f | %.2f | %.4f |\n",
+			mode, m.Throughput(), m.AvgLatency(), m.AvgHops(),
+			m.Throughput()/float64(cands[0].topo.Nodes()))
+	}
+	return b.String()
+}
+
+func t8() string {
+	var b strings.Builder
+	b.WriteString("| OTIS(G,T) | viewed as | Prop. 1 verifies | II ≅ known graph |\n")
+	b.WriteString("|---|---|---|---|\n")
+	for _, p := range []struct{ g, t int }{{3, 6}, {3, 12}, {2, 6}, {4, 4}, {2, 12}} {
+		o := otis.New(p.g, p.t)
+		d, n := o.AsImaseItoh()
+		verr := otis.NewImaseRealization(d, n).Verify()
+		known := "-"
+		if k, ok := imase.KautzOrder(d, n); ok {
+			if digraph.Isomorphic(imase.New(d, n).Digraph(), kautz.New(d, k).Digraph()) {
+				known = fmt.Sprintf("KG(%d,%d)", d, k)
+			}
+		} else if d == n {
+			known = fmt.Sprintf("K+%d", d)
+		}
+		fmt.Fprintf(&b, "| %v | II(%d,%d) | %v | %s |\n", o, d, n, verr == nil, known)
+	}
+	return b.String()
+}
+
+func t9() string {
+	var b strings.Builder
+	b.WriteString("| network | collective | slots | lower bound | transmissions |\n")
+	b.WriteString("|---|---|---|---|---|\n")
+	for _, pr := range []struct{ t, g int }{{4, 2}, {4, 4}, {8, 8}, {2, 6}} {
+		p := pops.New(pr.t, pr.g)
+		src := p.NodeID(0, 0)
+		bc := collective.POPSBroadcast(p, src)
+		if bc.Validate(p.StackGraph()) != nil || !bc.Execute(p.StackGraph()).BroadcastComplete(src) {
+			return "BROADCAST SCHEDULE INVALID\n"
+		}
+		fmt.Fprintf(&b, "| POPS(%d,%d) | broadcast | %d | %d | %d |\n",
+			pr.t, pr.g, bc.Slots(), collective.BroadcastLowerBound(p.StackGraph(), src), bc.Transmissions())
+		gs := collective.POPSGossip(p)
+		if gs.Validate(p.StackGraph()) != nil || !gs.Execute(p.StackGraph()).GossipComplete() {
+			return "GOSSIP SCHEDULE INVALID\n"
+		}
+		fmt.Fprintf(&b, "| POPS(%d,%d) | gossip | %d | %d | %d |\n",
+			pr.t, pr.g, gs.Slots(), collective.GossipLowerBound(p.StackGraph()), gs.Transmissions())
+	}
+	for _, pr := range []struct{ s, d, k int }{{6, 3, 2}, {2, 2, 3}, {8, 3, 3}} {
+		n := stackkautz.New(pr.s, pr.d, pr.k)
+		src := stackkautz.Address{Group: n.Kautz().LabelOf(0), Member: 0}
+		bc := collective.SKBroadcast(n, src)
+		if bc.Validate(n.StackGraph()) != nil || !bc.Execute(n.StackGraph()).BroadcastComplete(n.NodeID(src)) {
+			return "SK BROADCAST SCHEDULE INVALID\n"
+		}
+		fmt.Fprintf(&b, "| SK(%d,%d,%d) | broadcast | %d | %d | %d |\n",
+			pr.s, pr.d, pr.k, bc.Slots(),
+			collective.BroadcastLowerBound(n.StackGraph(), n.NodeID(src)), bc.Transmissions())
+	}
+	return b.String()
+}
+
+func t10() string {
+	var b strings.Builder
+	b.WriteString("| network | s | couplers/group | frame slots | closed form s·⌈D/s⌉ | fair |\n")
+	b.WriteString("|---|---|---|---|---|---|\n")
+	type row struct {
+		name string
+		sg   interface {
+			StackingFactor() int
+		}
+	}
+	for _, pr := range []struct{ t, g int }{{4, 3}, {8, 8}, {2, 5}} {
+		p := pops.New(pr.t, pr.g)
+		frame := control.TDMAFrame(p.StackGraph())
+		ok := frame.Validate(p.StackGraph()) == nil
+		fmt.Fprintf(&b, "| POPS(%d,%d) | %d | %d | %d | %d | %v |\n",
+			pr.t, pr.g, pr.t, pr.g, frame.Slots(), control.FrameLength(pr.t, pr.g), ok)
+	}
+	for _, pr := range []struct{ s, d, k int }{{6, 3, 2}, {2, 3, 2}, {4, 2, 3}} {
+		n := stackkautz.New(pr.s, pr.d, pr.k)
+		frame := control.TDMAFrame(n.StackGraph())
+		ok := frame.Validate(n.StackGraph()) == nil
+		fmt.Fprintf(&b, "| SK(%d,%d,%d) | %d | %d | %d | %d | %v |\n",
+			pr.s, pr.d, pr.k, pr.s, pr.d+1, frame.Slots(), control.FrameLength(pr.s, pr.d+1), ok)
+	}
+	return b.String()
+}
+
+func t11() string {
+	var b strings.Builder
+	b.WriteString("SK(6,3,2), uniform rate 0.9, 1000 slots, no drain (saturation):\n\n")
+	b.WriteString("| wavelengths | delivered | throughput/slot | avg latency | peak queue |\n")
+	b.WriteString("|---|---|---|---|---|\n")
+	topo := sim.NewStackTopology(stackkautz.New(6, 3, 2).StackGraph())
+	for _, w := range []int{1, 2, 4, 8} {
+		m := sim.Run(topo, sim.UniformTraffic{Rate: 0.9}, 1000, 0,
+			sim.Config{Seed: 5, Wavelengths: w})
+		fmt.Fprintf(&b, "| %d | %d | %.3f | %.2f | %d |\n",
+			w, m.Delivered, m.Throughput(), m.AvgLatency(), m.PeakQueue)
+	}
+	return b.String()
+}
+
+func t12() string {
+	var b strings.Builder
+	b.WriteString("cost model (launch 0 dBm, excess 3 dB, sensitivity -26 dBm):\n\n")
+	rows := []analysis.Cost{
+		analysis.POPSCost(4, 2),
+		analysis.POPSCost(16, 8),
+		analysis.StackKautzCost(6, 3, 2),
+		analysis.StackKautzCost(16, 4, 2),
+		analysis.StackImaseCost(8, 3, 20),
+		analysis.DeBruijnCost(3, 4),
+		analysis.SingleOPSCost(128),
+	}
+	b.WriteString(analysis.FormatTable(rows))
+	b.WriteString("\nOTIS-based electronic networks of [24] (conclusion's corollary):\n\n")
+	b.WriteString("| network | N | diameter | 2·df+1 bound |\n")
+	b.WriteString("|---|---|---|---|\n")
+	for h := 1; h <= 3; h++ {
+		n := otisnets.New(otisnets.NewHypercubeFactor(h))
+		fmt.Fprintf(&b, "| OTIS-Q%d | %d | %d | %d |\n",
+			h, n.N(), n.Digraph().Diameter(), otisnets.DiameterUpperBound(h))
+	}
+	m := otisnets.New(otisnets.NewMeshFactor(3, 3))
+	fmt.Fprintf(&b, "| OTIS-Mesh(3x3) | %d | %d | %d |\n",
+		m.N(), m.Digraph().Diameter(), otisnets.DiameterUpperBound(m.Factor().Diameter()))
+	return b.String()
+}

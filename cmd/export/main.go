@@ -1,0 +1,65 @@
+// Command export emits Graphviz DOT renderings of the paper's structures:
+// the Kautz graphs of Fig. 6, the Imase-Itoh graph of Fig. 10, the
+// stack-graph models of Figs. 5 and 7, and the complete optical netlists
+// of Figs. 11 and 12. Pipe through `dot -Tsvg` to draw.
+//
+//	go run ./cmd/export -what kautz -d 2 -k 3
+//	go run ./cmd/export -what ii -d 3 -n 12
+//	go run ./cmd/export -what pops-model -t 4 -g 2
+//	go run ./cmd/export -what sk-model -s 6 -d 3 -k 2
+//	go run ./cmd/export -what pops-netlist -t 4 -g 2
+//	go run ./cmd/export -what sk-netlist -s 6 -d 3 -k 2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"otisnet/internal/core"
+	"otisnet/internal/export"
+	"otisnet/internal/imase"
+	"otisnet/internal/kautz"
+	"otisnet/internal/pops"
+	"otisnet/internal/stackkautz"
+)
+
+func main() {
+	var (
+		what = flag.String("what", "kautz", "kautz | ii | pops-model | sk-model | pops-netlist | sk-netlist")
+		d    = flag.Int("d", 2, "degree")
+		k    = flag.Int("k", 2, "diameter")
+		n    = flag.Int("n", 12, "Imase-Itoh order")
+		t    = flag.Int("t", 4, "POPS group size")
+		g    = flag.Int("g", 2, "POPS group count")
+		s    = flag.Int("s", 6, "stack group size")
+	)
+	flag.Parse()
+	switch *what {
+	case "kautz":
+		kg := kautz.New(*d, *k)
+		labels := make([]string, kg.N())
+		for i := range labels {
+			labels[i] = kg.LabelOf(i).String()
+		}
+		fmt.Print(export.DigraphDOT(fmt.Sprintf("KG(%d,%d)", *d, *k), kg.Digraph(), labels))
+	case "ii":
+		ii := imase.New(*d, *n)
+		fmt.Print(export.DigraphDOT(fmt.Sprintf("II(%d,%d)", *d, *n), ii.Digraph(), nil))
+	case "pops-model":
+		p := pops.New(*t, *g)
+		fmt.Print(export.StackGraphDOT(fmt.Sprintf("POPS(%d,%d)", *t, *g), p.StackGraph()))
+	case "sk-model":
+		nw := stackkautz.New(*s, *d, *k)
+		fmt.Print(export.StackGraphDOT(fmt.Sprintf("SK(%d,%d,%d)", *s, *d, *k), nw.StackGraph()))
+	case "pops-netlist":
+		de := core.DesignPOPS(*t, *g)
+		fmt.Print(export.NetlistDOT(de.Name, de.NL))
+	case "sk-netlist":
+		de := core.DesignStackKautz(*s, *d, *k)
+		fmt.Print(export.NetlistDOT(de.Name, de.NL))
+	default:
+		fmt.Fprintf(os.Stderr, "export: unknown -what %q\n", *what)
+		os.Exit(2)
+	}
+}

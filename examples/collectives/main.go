@@ -1,0 +1,81 @@
+// Collectives: build, validate and execute collective-communication
+// schedules on POPS and stack-Kautz networks — one-to-all broadcast,
+// all-to-all gossip, the TDMA access frame of the distributed-control
+// layer, and WDM compression of overloaded rounds.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"otisnet/internal/collective"
+	"otisnet/internal/control"
+	"otisnet/internal/pops"
+	"otisnet/internal/stackkautz"
+	"otisnet/internal/wdm"
+)
+
+func main() {
+	// --- Broadcast on POPS -------------------------------------------------
+	p := pops.New(4, 3)
+	src := p.NodeID(1, 2)
+	bc := collective.POPSBroadcast(p, src)
+	if err := bc.Validate(p.StackGraph()); err != nil {
+		log.Fatal(err)
+	}
+	if !bc.Execute(p.StackGraph()).BroadcastComplete(src) {
+		log.Fatal("broadcast incomplete")
+	}
+	fmt.Printf("POPS(4,3) broadcast from node %d: %d slots (lower bound %d)\n",
+		src, bc.Slots(), collective.BroadcastLowerBound(p.StackGraph(), src))
+	fmt.Print(collective.FormatSchedule(bc, p.StackGraph()))
+
+	// --- Gossip on POPS ----------------------------------------------------
+	gs := collective.POPSGossip(p)
+	if !gs.Execute(p.StackGraph()).GossipComplete() {
+		log.Fatal("gossip incomplete")
+	}
+	fmt.Printf("\nPOPS(4,3) gossip: %d slots, %d transmissions (lower bound %d slots)\n",
+		gs.Slots(), gs.Transmissions(), collective.GossipLowerBound(p.StackGraph()))
+
+	// --- Broadcast on stack-Kautz -------------------------------------------
+	sk := stackkautz.New(6, 3, 2)
+	skSrc := stackkautz.Address{Group: sk.Kautz().LabelOf(0), Member: 0}
+	sbc := collective.SKBroadcast(sk, skSrc)
+	if err := sbc.Validate(sk.StackGraph()); err != nil {
+		log.Fatal(err)
+	}
+	if !sbc.Execute(sk.StackGraph()).BroadcastComplete(sk.NodeID(skSrc)) {
+		log.Fatal("SK broadcast incomplete")
+	}
+	fmt.Printf("\nSK(6,3,2) broadcast from %v: %d slots to reach all %d nodes (eccentricity bound %d)\n",
+		skSrc, sbc.Slots(), sk.N(),
+		collective.BroadcastLowerBound(sk.StackGraph(), sk.NodeID(skSrc)))
+
+	// --- TDMA frame (distributed control) -----------------------------------
+	frame := control.TDMAFrame(sk.StackGraph())
+	if err := frame.Validate(sk.StackGraph()); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nSK(6,3,2) TDMA frame: %d slots give every (node, coupler) pair one access (%d transmissions)\n",
+		frame.Slots(), frame.Transmissions())
+
+	// --- WDM compression -----------------------------------------------------
+	// A saturated batch: every member of group 0 wants the same coupler.
+	var batch []collective.Transmission
+	c := sk.CouplerOf(sk.Kautz().LabelOf(0), sk.Kautz().LabelOf(0))
+	for m := 0; m < sk.S(); m++ {
+		batch = append(batch, collective.Transmission{
+			Node:    sk.NodeID(stackkautz.Address{Group: sk.Kautz().LabelOf(0), Member: m}),
+			Coupler: c,
+		})
+	}
+	for _, w := range []int{1, 2, 3} {
+		s := wdm.CompressIndependent(batch, w)
+		if err := wdm.ValidateWDM(s, sk.StackGraph(), w); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("WDM w=%d: %d same-coupler transmissions fit in %d slots\n",
+			w, len(batch), s.Slots())
+	}
+}

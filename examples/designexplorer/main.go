@@ -1,0 +1,68 @@
+// Design explorer: sweep multi-OPS network configurations and compare
+// hardware cost (OTIS blocks, couplers, transceivers) against network size,
+// degree, diameter and optical power feasibility — the trade-off space the
+// paper's introduction motivates.
+package main
+
+import (
+	"fmt"
+
+	"otisnet/internal/core"
+	"otisnet/internal/imase"
+	"otisnet/internal/kautz"
+	"otisnet/internal/ops"
+)
+
+func main() {
+	const (
+		launchDBm = 0   // 1 mW VCSEL
+		excessDB  = 3   // lens planes + connectors per path
+		sensDBm   = -26 // receiver sensitivity
+	)
+	maxDeg := ops.MaxDegreeForBudget(launchDBm, excessDB, sensDBm)
+	fmt.Printf("optical budget: launch %d dBm, excess %d dB, sensitivity %d dBm -> max coupler degree %d\n\n",
+		launchDBm, excessDB, sensDBm, maxDeg)
+
+	fmt.Println("stack-Kautz design space (verified optical designs):")
+	fmt.Println("  s   d  k      N  groups  couplers  degree  diam  components  feasible")
+	for _, p := range []struct{ s, d, k int }{
+		{4, 2, 2}, {8, 2, 2}, {6, 3, 2}, {16, 3, 2}, {4, 2, 3},
+		{8, 3, 3}, {16, 4, 2}, {32, 4, 2}, {64, 4, 2},
+	} {
+		d := core.DesignStackKautz(p.s, p.d, p.k)
+		if err := d.Verify(); err != nil {
+			fmt.Printf("  SK(%d,%d,%d): DESIGN INVALID: %v\n", p.s, p.d, p.k, err)
+			continue
+		}
+		groups := kautz.N(p.d, p.k)
+		fmt.Printf("  %3d %2d %2d %6d %7d %9d %7d %5d %11d %9v\n",
+			p.s, p.d, p.k, d.N(), groups, groups*(p.d+1), p.d+1, p.k,
+			d.NL.Components(), p.s <= maxDeg)
+	}
+
+	fmt.Println("\nPOPS design space:")
+	fmt.Println("  t   g      N  couplers  degree  components  feasible")
+	for _, p := range []struct{ t, g int }{{4, 2}, {8, 4}, {16, 4}, {16, 8}, {32, 8}} {
+		d := core.DesignPOPS(p.t, p.g)
+		if err := d.Verify(); err != nil {
+			fmt.Printf("  POPS(%d,%d): DESIGN INVALID: %v\n", p.t, p.g, err)
+			continue
+		}
+		fmt.Printf("  %3d %3d %6d %9d %7d %11d %9v\n",
+			p.t, p.g, d.N(), p.g*p.g, p.g, d.NL.Components(), p.t <= maxDeg)
+	}
+
+	// Stack-Imase-Itoh fills the size gaps between Kautz orders: pick a
+	// target size that is not s·d^{k-1}(d+1) for any k.
+	fmt.Println("\nsize flexibility — stack-Imase-Itoh at non-Kautz orders (d=3):")
+	for _, n := range []int{10, 14, 22, 26} {
+		d := core.DesignStackImase(8, 3, n)
+		status := "verified"
+		if err := d.Verify(); err != nil {
+			status = "INVALID"
+		}
+		_, isKautz := imase.KautzOrder(3, n)
+		fmt.Printf("  %d groups (Kautz order: %v): N=%d, diameter bound %d, design %s\n",
+			n, isKautz, d.N(), imase.DiameterBound(3, n), status)
+	}
+}

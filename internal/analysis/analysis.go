@@ -1,0 +1,192 @@
+// Package analysis provides the cost and scalability model used to compare
+// the paper's network families — the quantitative side of its introduction
+// ("multi-OPS networks seem more viable and cost-effective under current
+// optical technology"). For each configuration it reports processor count,
+// per-node transceiver counts, coupler counts, OTIS block counts, diameter,
+// average distance, per-slot capacity (the coupler bound) and the optical
+// power feasibility of the coupler degree.
+package analysis
+
+import (
+	"fmt"
+	"strings"
+
+	"otisnet/internal/imase"
+	"otisnet/internal/kautz"
+	"otisnet/internal/ops"
+	"otisnet/internal/pops"
+	"otisnet/internal/stackkautz"
+)
+
+// Cost summarizes one network configuration.
+type Cost struct {
+	// Name identifies the configuration ("SK(6,3,2)", "POPS(4,2)", ...).
+	Name string
+	// N is the processor count.
+	N int
+	// TransceiversPerNode is the number of transmitter (and receiver)
+	// elements each processor needs.
+	TransceiversPerNode int
+	// Couplers is the number of OPS couplers (0 for point-to-point).
+	Couplers int
+	// CouplerDegree is the degree of each coupler (0 for point-to-point).
+	CouplerDegree int
+	// OTISBlocks is the number of free-space OTIS stages in the design.
+	OTISBlocks int
+	// Fibers is the number of fiber loopbacks.
+	Fibers int
+	// Diameter is the hop diameter.
+	Diameter int
+	// CapacityPerSlot is the maximum number of simultaneous messages: the
+	// coupler count (or link count for point-to-point).
+	CapacityPerSlot int
+}
+
+// CapacityPerNode returns CapacityPerSlot / N — the per-processor share of
+// the network's transmission capacity.
+func (c Cost) CapacityPerNode() float64 {
+	if c.N == 0 {
+		return 0
+	}
+	return float64(c.CapacityPerSlot) / float64(c.N)
+}
+
+// SplittingFeasible reports whether the coupler degree closes the optical
+// budget (launch, excess loss, sensitivity all in dB/dBm).
+func (c Cost) SplittingFeasible(launchDBm, excessDB, sensitivityDBm float64) bool {
+	if c.CouplerDegree <= 1 {
+		return true
+	}
+	return c.CouplerDegree <= ops.MaxDegreeForBudget(launchDBm, excessDB, sensitivityDBm)
+}
+
+// POPSCost returns the cost model of POPS(t,g): g² couplers of degree t,
+// g beams per node, 2g+1 OTIS blocks (g input-side, g output-side, one
+// central).
+func POPSCost(t, g int) Cost {
+	p := pops.New(t, g)
+	return Cost{
+		Name:                fmt.Sprintf("POPS(%d,%d)", t, g),
+		N:                   p.N(),
+		TransceiversPerNode: g,
+		Couplers:            p.Couplers(),
+		CouplerDegree:       t,
+		OTISBlocks:          2*g + 1,
+		Diameter:            1,
+		CapacityPerSlot:     p.Couplers(),
+	}
+}
+
+// StackKautzCost returns the cost model of SK(s,d,k): G(d+1) couplers of
+// degree s, d+1 beams per node, 2G+1 OTIS blocks and G fiber loops, where
+// G = d^{k-1}(d+1).
+func StackKautzCost(s, d, k int) Cost {
+	n := stackkautz.New(s, d, k)
+	return Cost{
+		Name:                fmt.Sprintf("SK(%d,%d,%d)", s, d, k),
+		N:                   n.N(),
+		TransceiversPerNode: d + 1,
+		Couplers:            n.Couplers(),
+		CouplerDegree:       s,
+		OTISBlocks:          2*n.Groups() + 1,
+		Fibers:              n.Groups(),
+		Diameter:            n.Diameter(),
+		CapacityPerSlot:     n.Couplers(),
+	}
+}
+
+// StackImaseCost returns the cost model of ς(s, II⁺(d,n)).
+func StackImaseCost(s, d, n int) Cost {
+	w := stackkautz.NewII(s, d, n)
+	diam := w.StackGraph().Diameter()
+	return Cost{
+		Name:                fmt.Sprintf("stack-II(%d,%d,%d)", s, d, n),
+		N:                   w.N(),
+		TransceiversPerNode: d + 1,
+		Couplers:            w.Couplers(),
+		CouplerDegree:       s,
+		OTISBlocks:          2*n + 1,
+		Fibers:              n,
+		Diameter:            diam,
+		CapacityPerSlot:     w.Couplers(),
+	}
+}
+
+// DeBruijnCost returns the cost model of the point-to-point de Bruijn
+// baseline B(d,k): every arc a dedicated link, d transceivers per node.
+func DeBruijnCost(d, k int) Cost {
+	b := kautz.NewDeBruijn(d, k)
+	return Cost{
+		Name:                fmt.Sprintf("deBruijn(%d,%d)", d, k),
+		N:                   b.N(),
+		TransceiversPerNode: d,
+		Couplers:            0,
+		CouplerDegree:       0,
+		OTISBlocks:          0,
+		Diameter:            b.Digraph().Diameter(),
+		CapacityPerSlot:     b.Digraph().M(),
+	}
+}
+
+// SingleOPSCost returns the cost model of a single-hop single-OPS network
+// over n nodes: one giant coupler of degree n (the "one big star" design
+// the introduction contrasts against) — one message total per slot.
+func SingleOPSCost(n int) Cost {
+	return Cost{
+		Name:                fmt.Sprintf("singleOPS(%d)", n),
+		N:                   n,
+		TransceiversPerNode: 1,
+		Couplers:            1,
+		CouplerDegree:       n,
+		Diameter:            1,
+		CapacityPerSlot:     1,
+	}
+}
+
+// FormatTable renders a markdown table of cost rows.
+func FormatTable(rows []Cost) string {
+	var b strings.Builder
+	b.WriteString("| network | N | tx/node | couplers | coupler deg | OTIS blocks | fibers | diam | capacity/slot | capacity/node |\n")
+	b.WriteString("|---|---|---|---|---|---|---|---|---|---|\n")
+	for _, c := range rows {
+		fmt.Fprintf(&b, "| %s | %d | %d | %d | %d | %d | %d | %d | %d | %.3f |\n",
+			c.Name, c.N, c.TransceiversPerNode, c.Couplers, c.CouplerDegree,
+			c.OTISBlocks, c.Fibers, c.Diameter, c.CapacityPerSlot, c.CapacityPerNode())
+	}
+	return b.String()
+}
+
+// BestStackKautzFor searches (s,d,k) with s <= maxDegree (optical budget)
+// for the smallest-diameter stack-Kautz network reaching at least nTarget
+// processors; ties broken by coupler count. Returns ok=false when no
+// configuration within the given ranges reaches the target.
+func BestStackKautzFor(nTarget, maxDegree, maxD, maxK int) (s, d, k int, ok bool) {
+	bestDiam, bestCouplers := 1<<30, 1<<30
+	for dd := 2; dd <= maxD; dd++ {
+		for kk := 1; kk <= maxK; kk++ {
+			groups := kautz.N(dd, kk)
+			// Smallest s reaching the target.
+			ss := (nTarget + groups - 1) / groups
+			if ss < 1 {
+				ss = 1
+			}
+			if ss > maxDegree {
+				continue
+			}
+			couplers := groups * (dd + 1)
+			if kk < bestDiam || (kk == bestDiam && couplers < bestCouplers) {
+				bestDiam, bestCouplers = kk, couplers
+				s, d, k, ok = ss, dd, kk, true
+			}
+		}
+	}
+	return s, d, k, ok
+}
+
+// ImaseFillsGap reports, for a target group count that is not a Kautz
+// order, the stack-Imase-Itoh diameter bound — demonstrating the size
+// flexibility II graphs buy (§2.6).
+func ImaseFillsGap(d, n int) (diamBound int, kautzOrder bool) {
+	_, ok := imase.KautzOrder(d, n)
+	return imase.DiameterBound(d, n), ok
+}

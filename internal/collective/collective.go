@@ -1,0 +1,146 @@
+// Package collective implements slot-accurate collective-communication
+// schedules for multi-OPS networks — the workloads the POPS and stack-Kautz
+// companion literature evaluates (Berthomé & Ferreira; Gravenstreter &
+// Melhem; Chiarulli et al.). A schedule is an explicit list of rounds; each
+// round is a set of transmissions that respects the two multi-OPS
+// constraints: at most one sender per coupler per slot (single wavelength)
+// and at most one transmission per node per slot. Schedules are verified by
+// simulation of their semantics (every transmission reaches the coupler's
+// whole head set) and compared against information-theoretic lower bounds.
+package collective
+
+import (
+	"fmt"
+
+	"otisnet/internal/hypergraph"
+)
+
+// Transmission is one sender firing on one coupler in a given round.
+type Transmission struct {
+	// Node is the sending processor.
+	Node int
+	// Coupler is the hyperarc index in the network's stack-graph.
+	Coupler int
+}
+
+// Schedule is a sequence of rounds of concurrent transmissions.
+type Schedule struct {
+	Rounds [][]Transmission
+}
+
+// Slots returns the number of rounds.
+func (s *Schedule) Slots() int { return len(s.Rounds) }
+
+// Transmissions returns the total number of transmissions.
+func (s *Schedule) Transmissions() int {
+	t := 0
+	for _, r := range s.Rounds {
+		t += len(r)
+	}
+	return t
+}
+
+// Validate checks the multi-OPS constraints round by round against the
+// stack-graph: senders must be on the tail of the coupler they drive, no
+// coupler is driven twice in a round, and no node transmits twice in a
+// round.
+func (s *Schedule) Validate(sg *hypergraph.StackGraph) error {
+	for i, round := range s.Rounds {
+		couplerBusy := map[int]bool{}
+		nodeBusy := map[int]bool{}
+		for _, tr := range round {
+			if tr.Coupler < 0 || tr.Coupler >= sg.M() {
+				return fmt.Errorf("collective: round %d: coupler %d out of range", i, tr.Coupler)
+			}
+			if couplerBusy[tr.Coupler] {
+				return fmt.Errorf("collective: round %d: coupler %d driven twice", i, tr.Coupler)
+			}
+			if nodeBusy[tr.Node] {
+				return fmt.Errorf("collective: round %d: node %d transmits twice", i, tr.Node)
+			}
+			onTail := false
+			for _, u := range sg.Hyperarc(tr.Coupler).Tail {
+				if u == tr.Node {
+					onTail = true
+					break
+				}
+			}
+			if !onTail {
+				return fmt.Errorf("collective: round %d: node %d not on tail of coupler %d",
+					i, tr.Node, tr.Coupler)
+			}
+			couplerBusy[tr.Coupler] = true
+			nodeBusy[tr.Node] = true
+		}
+	}
+	return nil
+}
+
+// knowledge tracks, per node, which source data items it holds; used to
+// verify dissemination schedules by executing them.
+type knowledge struct {
+	has []map[int]bool // has[node][source]
+}
+
+func newKnowledge(n int) *knowledge {
+	k := &knowledge{has: make([]map[int]bool, n)}
+	for i := range k.has {
+		k.has[i] = map[int]bool{i: true}
+	}
+	return k
+}
+
+// Execute runs the schedule's dissemination semantics: when a node fires on
+// a coupler, everything it currently holds becomes known to the coupler's
+// whole head set at the end of the round (synchronous rounds: receptions
+// become usable in the next round).
+func (s *Schedule) Execute(sg *hypergraph.StackGraph) *knowledge {
+	k := newKnowledge(sg.N())
+	for _, round := range s.Rounds {
+		type delivery struct {
+			to   int
+			data map[int]bool
+		}
+		var pending []delivery
+		for _, tr := range round {
+			snapshot := make(map[int]bool, len(k.has[tr.Node]))
+			for src := range k.has[tr.Node] {
+				snapshot[src] = true
+			}
+			for _, h := range sg.Hyperarc(tr.Coupler).Head {
+				pending = append(pending, delivery{to: h, data: snapshot})
+			}
+		}
+		for _, d := range pending {
+			for src := range d.data {
+				k.has[d.to][src] = true
+			}
+		}
+	}
+	return k
+}
+
+// BroadcastComplete reports whether, after Execute, every node holds the
+// data of the given source.
+func (k *knowledge) BroadcastComplete(src int) bool {
+	for _, h := range k.has {
+		if !h[src] {
+			return false
+		}
+	}
+	return true
+}
+
+// GossipComplete reports whether every node holds every node's data.
+func (k *knowledge) GossipComplete() bool {
+	n := len(k.has)
+	for _, h := range k.has {
+		if len(h) != n {
+			return false
+		}
+	}
+	return true
+}
+
+// Holds reports whether node holds src's data.
+func (k *knowledge) Holds(node, src int) bool { return k.has[node][src] }

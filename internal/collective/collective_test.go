@@ -1,0 +1,258 @@
+package collective
+
+import (
+	"testing"
+	"testing/quick"
+
+	"otisnet/internal/digraph"
+	"otisnet/internal/hypergraph"
+	"otisnet/internal/pops"
+	"otisnet/internal/stackkautz"
+)
+
+func TestScheduleValidateConstraints(t *testing.T) {
+	p := pops.New(2, 2)
+	sg := p.StackGraph()
+	// Two senders on one coupler in the same round: invalid.
+	bad := &Schedule{Rounds: [][]Transmission{{
+		{Node: p.NodeID(0, 0), Coupler: p.CouplerIndex(0, 1)},
+		{Node: p.NodeID(0, 1), Coupler: p.CouplerIndex(0, 1)},
+	}}}
+	if bad.Validate(sg) == nil {
+		t.Fatal("double-driven coupler must be rejected")
+	}
+	// One node on two couplers in the same round: invalid.
+	bad2 := &Schedule{Rounds: [][]Transmission{{
+		{Node: p.NodeID(0, 0), Coupler: p.CouplerIndex(0, 0)},
+		{Node: p.NodeID(0, 0), Coupler: p.CouplerIndex(0, 1)},
+	}}}
+	if bad2.Validate(sg) == nil {
+		t.Fatal("double-transmitting node must be rejected")
+	}
+	// Sender not on the coupler tail: invalid.
+	bad3 := &Schedule{Rounds: [][]Transmission{{
+		{Node: p.NodeID(1, 0), Coupler: p.CouplerIndex(0, 1)},
+	}}}
+	if bad3.Validate(sg) == nil {
+		t.Fatal("foreign sender must be rejected")
+	}
+	// Out-of-range coupler: invalid.
+	bad4 := &Schedule{Rounds: [][]Transmission{{{Node: 0, Coupler: 99}}}}
+	if bad4.Validate(sg) == nil {
+		t.Fatal("out-of-range coupler must be rejected")
+	}
+}
+
+func TestExecuteSemantics(t *testing.T) {
+	// One transmission on coupler (0,1) of POPS(2,2): both members of group
+	// 1 learn the sender's data, nothing else moves.
+	p := pops.New(2, 2)
+	sg := p.StackGraph()
+	s := &Schedule{Rounds: [][]Transmission{{
+		{Node: p.NodeID(0, 0), Coupler: p.CouplerIndex(0, 1)},
+	}}}
+	if err := s.Validate(sg); err != nil {
+		t.Fatal(err)
+	}
+	k := s.Execute(sg)
+	if !k.Holds(p.NodeID(1, 0), p.NodeID(0, 0)) || !k.Holds(p.NodeID(1, 1), p.NodeID(0, 0)) {
+		t.Fatal("head set must learn the data")
+	}
+	if k.Holds(p.NodeID(0, 1), p.NodeID(0, 0)) {
+		t.Fatal("nodes off the coupler must not learn")
+	}
+}
+
+func TestExecuteSynchronousRounds(t *testing.T) {
+	// Data received in a round is usable only in the next round: two
+	// transmissions in the SAME round cannot relay.
+	p := pops.New(2, 3)
+	sg := p.StackGraph()
+	same := &Schedule{Rounds: [][]Transmission{{
+		{Node: p.NodeID(0, 0), Coupler: p.CouplerIndex(0, 1)},
+		{Node: p.NodeID(1, 0), Coupler: p.CouplerIndex(1, 2)},
+	}}}
+	k := same.Execute(sg)
+	if k.Holds(p.NodeID(2, 0), p.NodeID(0, 0)) {
+		t.Fatal("same-round relay should not propagate")
+	}
+	// Sequential rounds do relay.
+	seq := &Schedule{Rounds: [][]Transmission{
+		{{Node: p.NodeID(0, 0), Coupler: p.CouplerIndex(0, 1)}},
+		{{Node: p.NodeID(1, 0), Coupler: p.CouplerIndex(1, 2)}},
+	}}
+	k2 := seq.Execute(sg)
+	if !k2.Holds(p.NodeID(2, 0), p.NodeID(0, 0)) {
+		t.Fatal("sequential relay should propagate")
+	}
+}
+
+func TestPOPSBroadcastCompletes(t *testing.T) {
+	for _, pr := range []struct{ t, g int }{{4, 2}, {2, 5}, {3, 3}, {1, 4}, {5, 1}, {1, 1}} {
+		p := pops.New(pr.t, pr.g)
+		src := p.NodeID(0, 0)
+		s := POPSBroadcast(p, src)
+		if err := s.Validate(p.StackGraph()); err != nil {
+			t.Fatalf("POPS(%d,%d): %v", pr.t, pr.g, err)
+		}
+		k := s.Execute(p.StackGraph())
+		if !k.BroadcastComplete(src) {
+			t.Fatalf("POPS(%d,%d): broadcast incomplete in %d slots", pr.t, pr.g, s.Slots())
+		}
+		want := 1 + (pr.g-2+pr.t)/pr.t // 1 + ceil((g-1)/t)
+		if pr.g == 1 {
+			want = 1
+		}
+		if p.N() == 1 {
+			want = 0
+		}
+		if s.Slots() != want {
+			t.Fatalf("POPS(%d,%d): %d slots, want %d", pr.t, pr.g, s.Slots(), want)
+		}
+	}
+}
+
+func TestPOPSBroadcastFromNonzeroSource(t *testing.T) {
+	p := pops.New(3, 4)
+	src := p.NodeID(2, 1)
+	s := POPSBroadcast(p, src)
+	if err := s.Validate(p.StackGraph()); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Execute(p.StackGraph()).BroadcastComplete(src) {
+		t.Fatal("broadcast incomplete")
+	}
+}
+
+func TestPOPSGossipCompletes(t *testing.T) {
+	for _, pr := range []struct{ t, g int }{{2, 2}, {4, 2}, {2, 5}, {3, 3}, {1, 3}, {4, 1}} {
+		p := pops.New(pr.t, pr.g)
+		s := POPSGossip(p)
+		if err := s.Validate(p.StackGraph()); err != nil {
+			t.Fatalf("POPS(%d,%d): %v", pr.t, pr.g, err)
+		}
+		if !s.Execute(p.StackGraph()).GossipComplete() {
+			t.Fatalf("POPS(%d,%d): gossip incomplete in %d slots", pr.t, pr.g, s.Slots())
+		}
+		if lb := GossipLowerBound(p.StackGraph()); s.Slots() < lb {
+			t.Fatalf("POPS(%d,%d): schedule beats the lower bound?!", pr.t, pr.g)
+		}
+	}
+}
+
+func TestSKBroadcastCompletes(t *testing.T) {
+	for _, pr := range []struct{ s, d, k int }{{6, 3, 2}, {2, 2, 2}, {2, 2, 3}, {1, 2, 2}, {2, 3, 2}} {
+		n := stackkautz.New(pr.s, pr.d, pr.k)
+		src := stackkautz.Address{Group: n.Kautz().LabelOf(0), Member: 0}
+		s := SKBroadcast(n, src)
+		if err := s.Validate(n.StackGraph()); err != nil {
+			t.Fatalf("SK(%d,%d,%d): %v", pr.s, pr.d, pr.k, err)
+		}
+		k := s.Execute(n.StackGraph())
+		if !k.BroadcastComplete(n.NodeID(src)) {
+			t.Fatalf("SK(%d,%d,%d): broadcast incomplete in %d slots", pr.s, pr.d, pr.k, s.Slots())
+		}
+		// Slot count: 1 (loop) + k·⌈d/s⌉.
+		per := (pr.d + pr.s - 1) / pr.s
+		if want := 1 + pr.k*per; s.Slots() > want {
+			t.Fatalf("SK(%d,%d,%d): %d slots > bound %d", pr.s, pr.d, pr.k, s.Slots(), want)
+		}
+		// And never below the eccentricity lower bound.
+		if lb := BroadcastLowerBound(n.StackGraph(), n.NodeID(src)); s.Slots() < lb {
+			t.Fatalf("SK(%d,%d,%d): %d slots beats lower bound %d", pr.s, pr.d, pr.k, s.Slots(), lb)
+		}
+	}
+}
+
+func TestSKBroadcastArbitrarySource(t *testing.T) {
+	n := stackkautz.New(3, 2, 3)
+	src := stackkautz.Address{Group: n.Kautz().LabelOf(7), Member: 2}
+	s := SKBroadcast(n, src)
+	if err := s.Validate(n.StackGraph()); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Execute(n.StackGraph()).BroadcastComplete(n.NodeID(src)) {
+		t.Fatal("broadcast incomplete")
+	}
+}
+
+func TestBroadcastLowerBound(t *testing.T) {
+	p := pops.New(4, 3)
+	if lb := BroadcastLowerBound(p.StackGraph(), 0); lb != 1 {
+		t.Fatalf("POPS broadcast lower bound = %d, want 1", lb)
+	}
+	sk := stackkautz.New(2, 2, 3)
+	if lb := BroadcastLowerBound(sk.StackGraph(), 0); lb != 3 {
+		t.Fatalf("SK(2,2,3) broadcast lower bound = %d, want k=3", lb)
+	}
+	// Disconnected: -1.
+	g := digraph.New(2)
+	sg := hypergraph.NewStackGraph(1, g)
+	if BroadcastLowerBound(sg, 0) != -1 {
+		t.Fatal("unreachable should give -1")
+	}
+}
+
+func TestGossipLowerBound(t *testing.T) {
+	p := pops.New(4, 2) // n=8, m=4
+	if lb := GossipLowerBound(p.StackGraph()); lb != 2 {
+		t.Fatalf("lower bound = %d, want 2", lb)
+	}
+	if GossipLowerBound(pops.New(1, 1).StackGraph()) != 0 {
+		t.Fatal("single node gossips in 0 slots")
+	}
+}
+
+func TestScheduleAccessors(t *testing.T) {
+	s := &Schedule{Rounds: [][]Transmission{{{0, 0}}, {{1, 1}, {2, 2}}}}
+	if s.Slots() != 2 || s.Transmissions() != 3 {
+		t.Fatal("accessors wrong")
+	}
+}
+
+func TestFormatSchedule(t *testing.T) {
+	p := pops.New(2, 2)
+	s := POPSBroadcast(p, 0)
+	out := FormatSchedule(s, p.StackGraph())
+	if out == "" {
+		t.Fatal("format should produce output")
+	}
+}
+
+// Property: POPS broadcast completes from every source on random
+// parameters, within 1 + ceil((g-1)/t) slots.
+func TestPOPSBroadcastProperty(t *testing.T) {
+	f := func(tu, gu, su uint8) bool {
+		tt := 1 + int(tu)%4
+		g := 1 + int(gu)%4
+		p := pops.New(tt, g)
+		src := int(su) % p.N()
+		s := POPSBroadcast(p, src)
+		if s.Validate(p.StackGraph()) != nil {
+			return false
+		}
+		return s.Execute(p.StackGraph()).BroadcastComplete(src)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: SK broadcast completes from every source on random parameters.
+func TestSKBroadcastProperty(t *testing.T) {
+	f := func(su, du, ku, nu uint8) bool {
+		s := 1 + int(su)%3
+		d := 2 + int(du)%2
+		k := 1 + int(ku)%2
+		n := stackkautz.New(s, d, k)
+		src := n.Addr(int(nu) % n.N())
+		sched := SKBroadcast(n, src)
+		if sched.Validate(n.StackGraph()) != nil {
+			return false
+		}
+		return sched.Execute(n.StackGraph()).BroadcastComplete(n.NodeID(src))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

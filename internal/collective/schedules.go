@@ -1,0 +1,202 @@
+package collective
+
+import (
+	"fmt"
+
+	"otisnet/internal/digraph"
+	"otisnet/internal/hypergraph"
+	"otisnet/internal/pops"
+	"otisnet/internal/stackkautz"
+)
+
+// POPSBroadcast builds a one-to-all broadcast schedule on POPS(t,g) from
+// src: slot 1 informs the whole source group through coupler (i,i); then
+// informed members of the source group fire the remaining g-1 couplers
+// (i,j), up to t per slot. Total slots: 1 + ⌈(g-1)/t⌉ (1 when g == 1),
+// which is optimal to within one slot of the trivial ⌈log⌉-style bound
+// since a node may drive only one coupler per slot.
+func POPSBroadcast(p *pops.Network, src int) *Schedule {
+	sg := p.StackGraph()
+	grp, _ := p.Node(src)
+	s := &Schedule{}
+	if p.N() == 1 {
+		return s
+	}
+	// Slot 1: inform own group via the loop coupler (i,i).
+	s.Rounds = append(s.Rounds, []Transmission{{Node: src, Coupler: p.CouplerIndex(grp, grp)}})
+	// Remaining groups, t transmitters per slot.
+	var targets []int
+	for j := 0; j < p.G(); j++ {
+		if j != grp {
+			targets = append(targets, j)
+		}
+	}
+	for len(targets) > 0 {
+		var round []Transmission
+		for m := 0; m < p.T() && len(targets) > 0; m++ {
+			j := targets[0]
+			targets = targets[1:]
+			round = append(round, Transmission{
+				Node:    p.NodeID(grp, m),
+				Coupler: p.CouplerIndex(grp, j),
+			})
+		}
+		s.Rounds = append(s.Rounds, round)
+	}
+	_ = sg
+	return s
+}
+
+// POPSGossip builds an all-to-all (non-personalized) gossip schedule on
+// POPS(t,g): phase 1, t slots of intra-group collection on the loop
+// couplers (all groups in parallel — the loop couplers are disjoint);
+// phase 2, every group ships its collected knowledge to every other group,
+// t couplers per group per slot. Total slots: t + ⌈(g-1)/t⌉ for g > 1
+// (t slots when g == 1 and t > 1, 0 when N == 1).
+func POPSGossip(p *pops.Network) *Schedule {
+	s := &Schedule{}
+	if p.N() == 1 {
+		return s
+	}
+	// Phase 1: member m of every group fires its loop coupler in slot m.
+	for m := 0; m < p.T(); m++ {
+		var round []Transmission
+		for i := 0; i < p.G(); i++ {
+			round = append(round, Transmission{
+				Node:    p.NodeID(i, m),
+				Coupler: p.CouplerIndex(i, i),
+			})
+		}
+		s.Rounds = append(s.Rounds, round)
+	}
+	if p.G() == 1 {
+		return s
+	}
+	// Phase 2: group i sends to groups i+1, ..., i+g-1 (mod g), t at a time.
+	offsets := p.G() - 1
+	for start := 0; start < offsets; start += p.T() {
+		var round []Transmission
+		for i := 0; i < p.G(); i++ {
+			for m := 0; m < p.T() && start+m < offsets; m++ {
+				j := (i + 1 + start + m) % p.G()
+				round = append(round, Transmission{
+					Node:    p.NodeID(i, m),
+					Coupler: p.CouplerIndex(i, j),
+				})
+			}
+		}
+		s.Rounds = append(s.Rounds, round)
+	}
+	return s
+}
+
+// SKBroadcast builds a one-to-all broadcast schedule on the stack-Kautz
+// network: slot 1 informs the source group through its loop coupler, then
+// the informed frontier floods outward along the Kautz arcs, every group at
+// BFS level r firing its d outgoing couplers with distinct members
+// (⌈d/s⌉ slots per level). Total slots: 1 + k·⌈d/s⌉ for k ≥ 1 — the
+// diameter-matching flood the paper's distributed-control companion uses.
+func SKBroadcast(n *stackkautz.Network, src stackkautz.Address) *Schedule {
+	sg := n.StackGraph()
+	kg := n.Kautz().Digraph()
+	srcGroup := n.Kautz().Index(src.Group)
+	s := &Schedule{}
+	if n.N() == 1 {
+		return s
+	}
+	// Slot 1: loop coupler informs the whole source group.
+	s.Rounds = append(s.Rounds, []Transmission{{
+		Node:    n.NodeID(src),
+		Coupler: sg.HyperarcFor(srcGroup, srcGroup),
+	}})
+	// Flood level by level.
+	dist := kg.BFS(srcGroup)
+	maxLevel := 0
+	for _, d := range dist {
+		if d > maxLevel {
+			maxLevel = d
+		}
+	}
+	for level := 0; level < maxLevel; level++ {
+		// All groups at distance `level` fire all their non-loop couplers,
+		// at most s per slot (distinct members).
+		type firing struct{ group, arcIdx, target int }
+		var firings []firing
+		for g := 0; g < kg.N(); g++ {
+			if dist[g] != level {
+				continue
+			}
+			idx := 0
+			for _, z := range kg.Out(g) {
+				if z == g {
+					continue
+				}
+				firings = append(firings, firing{group: g, arcIdx: idx, target: z})
+				idx++
+			}
+		}
+		slots := (n.D() + n.S() - 1) / n.S()
+		for sub := 0; sub < slots; sub++ {
+			var round []Transmission
+			for _, f := range firings {
+				if f.arcIdx/n.S() != sub {
+					continue
+				}
+				member := f.arcIdx % n.S()
+				round = append(round, Transmission{
+					Node:    sg.NodeID(hypergraph.StackNode{Group: f.group, Member: member}),
+					Coupler: sg.HyperarcFor(f.group, f.target),
+				})
+			}
+			if len(round) > 0 {
+				s.Rounds = append(s.Rounds, round)
+			}
+		}
+	}
+	return s
+}
+
+// BroadcastLowerBound returns the trivial lower bound on one-to-all
+// broadcast slots from src on a stack-graph: the hop eccentricity of src
+// (every slot extends reach by at most one hop).
+func BroadcastLowerBound(sg *hypergraph.StackGraph, src int) int {
+	und := sg.UnderlyingDigraph()
+	ecc := und.Eccentricity(src)
+	if ecc == digraph.Unreachable {
+		return -1
+	}
+	return ecc
+}
+
+// GossipLowerBound returns a lower bound on all-to-all gossip slots on a
+// stack-graph with m couplers and n nodes: every node's data must cross at
+// least one coupler to reach any other group, and a coupler moves one
+// node's current knowledge per slot; additionally each node must transmit
+// at least once, with at most min(m, n) transmissions per slot, giving
+// ⌈n / min(m, n)⌉.
+func GossipLowerBound(sg *hypergraph.StackGraph) int {
+	n := sg.N()
+	if n <= 1 {
+		return 0
+	}
+	cap := sg.M()
+	if n < cap {
+		cap = n
+	}
+	return (n + cap - 1) / cap
+}
+
+// FormatSchedule renders a schedule as readable text for the examples and
+// tools.
+func FormatSchedule(s *Schedule, sg *hypergraph.StackGraph) string {
+	out := fmt.Sprintf("%d slots, %d transmissions\n", s.Slots(), s.Transmissions())
+	for i, round := range s.Rounds {
+		out += fmt.Sprintf("  slot %d:", i+1)
+		for _, tr := range round {
+			u, v := sg.BaseArcOf(tr.Coupler)
+			out += fmt.Sprintf(" node%d->(%d,%d)", tr.Node, u, v)
+		}
+		out += "\n"
+	}
+	return out
+}

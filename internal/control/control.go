@@ -1,0 +1,174 @@
+// Package control implements the media-access control layer of multi-OPS
+// networks — the "distributed control" concern of the paper's companion
+// work (Chiarulli et al.; Coudert, Ferreira, Muñoz IPPS'98): since an OPS
+// coupler is single-wavelength, nodes must agree on who drives which
+// coupler in which slot. Two schedulers are provided:
+//
+//   - TDMAFrame: a static Latin-rectangle frame giving every (node,
+//     coupler) pair of every group exactly one slot per frame, with frame
+//     length s·⌈D/s⌉ (optimal when D ≤ s or s divides D, and never more
+//     than one bank longer than the max(s, D) lower bound);
+//   - GreedySchedule: a demand-driven scheduler that packs an arbitrary
+//     batch of unicast requests into conflict-free slots.
+//
+// Both produce collective.Schedule values, so the same validator enforces
+// the one-sender-per-coupler and one-transmission-per-node invariants.
+package control
+
+import (
+	"sort"
+
+	"otisnet/internal/collective"
+	"otisnet/internal/hypergraph"
+)
+
+// TDMAFrame builds the static access frame for a stack-graph network: in
+// slot (r, b), the coupler with index c in bank b of group g is driven by
+// member (r + c) mod s of group g. Every (member, coupler) pair of every
+// group transmits exactly once per frame.
+func TDMAFrame(sg *hypergraph.StackGraph) *collective.Schedule {
+	s := sg.StackingFactor()
+	groups := sg.Groups()
+	// Per-group coupler lists (hyperarc indices whose tail is the group).
+	couplers := make([][]int, groups)
+	maxD := 0
+	for i := 0; i < sg.M(); i++ {
+		u, _ := sg.BaseArcOf(i)
+		couplers[u] = append(couplers[u], i)
+	}
+	for _, cs := range couplers {
+		if len(cs) > maxD {
+			maxD = len(cs)
+		}
+	}
+	banks := (maxD + s - 1) / s
+	sched := &collective.Schedule{}
+	for r := 0; r < s; r++ {
+		for b := 0; b < banks; b++ {
+			var round []collective.Transmission
+			for g := 0; g < groups; g++ {
+				for ci := b * s; ci < (b+1)*s && ci < len(couplers[g]); ci++ {
+					member := (r + ci) % s
+					round = append(round, collective.Transmission{
+						Node:    sg.NodeID(hypergraph.StackNode{Group: g, Member: member}),
+						Coupler: couplers[g][ci],
+					})
+				}
+			}
+			if len(round) > 0 {
+				sched.Rounds = append(sched.Rounds, round)
+			}
+		}
+	}
+	return sched
+}
+
+// FrameLength returns the TDMA frame length for stacking factor s and
+// per-group coupler count d: s·⌈d/s⌉.
+func FrameLength(s, d int) int {
+	return s * ((d + s - 1) / s)
+}
+
+// Request is a unicast transmission demand: node src wants one slot on the
+// coupler that reaches dst's group (both in a single hop — multi-hop
+// traffic issues one request per hop).
+type Request struct {
+	Src, Dst int
+}
+
+// GreedySchedule packs the requests into conflict-free slots: requests are
+// processed in a deterministic order (longest-queue-first by source group,
+// then by id) and each is placed into the earliest slot where both its
+// coupler and its source node are free. Requests whose source cannot reach
+// the destination's group in one hop are returned as the second value.
+func GreedySchedule(sg *hypergraph.StackGraph, reqs []Request) (*collective.Schedule, []Request) {
+	type placed struct {
+		req     Request
+		coupler int
+	}
+	var ok []placed
+	var failed []Request
+	for _, r := range reqs {
+		cu := couplerBetween(sg, r.Src, r.Dst)
+		if cu < 0 {
+			failed = append(failed, r)
+			continue
+		}
+		ok = append(ok, placed{req: r, coupler: cu})
+	}
+	// Deterministic order: by coupler demand (descending), then src, dst.
+	demand := map[int]int{}
+	for _, p := range ok {
+		demand[p.coupler]++
+	}
+	sort.SliceStable(ok, func(i, j int) bool {
+		di, dj := demand[ok[i].coupler], demand[ok[j].coupler]
+		if di != dj {
+			return di > dj
+		}
+		if ok[i].req.Src != ok[j].req.Src {
+			return ok[i].req.Src < ok[j].req.Src
+		}
+		return ok[i].req.Dst < ok[j].req.Dst
+	})
+	sched := &collective.Schedule{}
+	couplerBusy := []map[int]bool{}
+	nodeBusy := []map[int]bool{}
+	for _, p := range ok {
+		slot := 0
+		for {
+			if slot == len(sched.Rounds) {
+				sched.Rounds = append(sched.Rounds, nil)
+				couplerBusy = append(couplerBusy, map[int]bool{})
+				nodeBusy = append(nodeBusy, map[int]bool{})
+			}
+			if !couplerBusy[slot][p.coupler] && !nodeBusy[slot][p.req.Src] {
+				sched.Rounds[slot] = append(sched.Rounds[slot], collective.Transmission{
+					Node: p.req.Src, Coupler: p.coupler,
+				})
+				couplerBusy[slot][p.coupler] = true
+				nodeBusy[slot][p.req.Src] = true
+				break
+			}
+			slot++
+		}
+	}
+	return sched, failed
+}
+
+// couplerBetween returns a hyperarc index with src on its tail and dst in
+// its head, or -1.
+func couplerBetween(sg *hypergraph.StackGraph, src, dst int) int {
+	for _, c := range sg.OutArcs(src) {
+		for _, h := range sg.Hyperarc(c).Head {
+			if h == dst {
+				return c
+			}
+		}
+	}
+	return -1
+}
+
+// GreedyLowerBound returns the trivial lower bound on schedule length for a
+// request batch: the maximum, over couplers and over source nodes, of the
+// number of requests needing that resource.
+func GreedyLowerBound(sg *hypergraph.StackGraph, reqs []Request) int {
+	couplerDemand := map[int]int{}
+	nodeDemand := map[int]int{}
+	lb := 0
+	for _, r := range reqs {
+		c := couplerBetween(sg, r.Src, r.Dst)
+		if c < 0 {
+			continue
+		}
+		couplerDemand[c]++
+		nodeDemand[r.Src]++
+		if couplerDemand[c] > lb {
+			lb = couplerDemand[c]
+		}
+		if nodeDemand[r.Src] > lb {
+			lb = nodeDemand[r.Src]
+		}
+	}
+	return lb
+}

@@ -1,0 +1,222 @@
+package control
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"otisnet/internal/pops"
+	"otisnet/internal/stackkautz"
+)
+
+func TestTDMAFrameValidPOPS(t *testing.T) {
+	p := pops.New(4, 3)
+	sg := p.StackGraph()
+	frame := TDMAFrame(sg)
+	if err := frame.Validate(sg); err != nil {
+		t.Fatal(err)
+	}
+	// POPS(4,3): s=4, D=3 couplers per group -> frame length s*ceil(3/4)=4.
+	if frame.Slots() != FrameLength(4, 3) {
+		t.Fatalf("frame slots = %d, want %d", frame.Slots(), FrameLength(4, 3))
+	}
+}
+
+func TestTDMAFrameValidSK(t *testing.T) {
+	n := stackkautz.New(6, 3, 2)
+	sg := n.StackGraph()
+	frame := TDMAFrame(sg)
+	if err := frame.Validate(sg); err != nil {
+		t.Fatal(err)
+	}
+	// s=6, D=d+1=4: frame length 6*1 = 6.
+	if frame.Slots() != 6 {
+		t.Fatalf("frame slots = %d, want 6", frame.Slots())
+	}
+}
+
+func TestTDMAFullFairness(t *testing.T) {
+	// Every (node, coupler) pair with the node on the coupler's tail must
+	// transmit exactly once per frame.
+	n := stackkautz.New(3, 2, 2)
+	sg := n.StackGraph()
+	frame := TDMAFrame(sg)
+	if err := frame.Validate(sg); err != nil {
+		t.Fatal(err)
+	}
+	count := map[[2]int]int{}
+	for _, round := range frame.Rounds {
+		for _, tr := range round {
+			count[[2]int{tr.Node, tr.Coupler}]++
+		}
+	}
+	for c := 0; c < sg.M(); c++ {
+		for _, u := range sg.Hyperarc(c).Tail {
+			if count[[2]int{u, c}] != 1 {
+				t.Fatalf("pair (node %d, coupler %d) scheduled %d times, want 1",
+					u, c, count[[2]int{u, c}])
+			}
+		}
+	}
+	// Total transmissions = sum of coupler degrees = M * s.
+	if frame.Transmissions() != sg.M()*sg.StackingFactor() {
+		t.Fatal("total transmissions wrong")
+	}
+}
+
+func TestTDMAFrameLengthBounds(t *testing.T) {
+	cases := []struct{ s, d, want int }{
+		{4, 3, 4}, {4, 4, 4}, {4, 5, 8}, {2, 6, 6}, {1, 3, 3}, {6, 4, 6},
+	}
+	for _, c := range cases {
+		if got := FrameLength(c.s, c.d); got != c.want {
+			t.Errorf("FrameLength(%d,%d) = %d, want %d", c.s, c.d, got, c.want)
+		}
+		// Never below the max(s,d) lower bound.
+		lb := c.s
+		if c.d > lb {
+			lb = c.d
+		}
+		if FrameLength(c.s, c.d) < lb {
+			t.Errorf("FrameLength(%d,%d) below lower bound", c.s, c.d)
+		}
+	}
+}
+
+func TestTDMAWideGroupsDgtS(t *testing.T) {
+	// d+1 > s forces multiple banks; the frame must stay valid.
+	n := stackkautz.New(2, 3, 2) // s=2, D=4 -> banks=2, frame=4
+	sg := n.StackGraph()
+	frame := TDMAFrame(sg)
+	if err := frame.Validate(sg); err != nil {
+		t.Fatal(err)
+	}
+	if frame.Slots() != 4 {
+		t.Fatalf("frame slots = %d, want 4", frame.Slots())
+	}
+}
+
+func TestGreedyScheduleBasic(t *testing.T) {
+	p := pops.New(2, 2)
+	sg := p.StackGraph()
+	reqs := []Request{
+		{Src: p.NodeID(0, 0), Dst: p.NodeID(1, 0)},
+		{Src: p.NodeID(0, 1), Dst: p.NodeID(1, 1)}, // same coupler (0,1): must serialize
+		{Src: p.NodeID(1, 0), Dst: p.NodeID(0, 0)}, // coupler (1,0): parallel
+	}
+	sched, failed := GreedySchedule(sg, reqs)
+	if len(failed) != 0 {
+		t.Fatalf("unexpected failures: %v", failed)
+	}
+	if err := sched.Validate(sg); err != nil {
+		t.Fatal(err)
+	}
+	if sched.Slots() != 2 {
+		t.Fatalf("slots = %d, want 2 (two requests share coupler (0,1))", sched.Slots())
+	}
+	if sched.Transmissions() != 3 {
+		t.Fatal("all requests must be placed")
+	}
+}
+
+func TestGreedyScheduleUnroutable(t *testing.T) {
+	// SK: nodes in non-adjacent groups cannot be served in one hop.
+	n := stackkautz.New(2, 2, 3)
+	sg := n.StackGraph()
+	kg := n.Kautz().Digraph()
+	var far int = -1
+	for v := 0; v < kg.N(); v++ {
+		if v != 0 && !kg.HasArc(0, v) {
+			far = v
+			break
+		}
+	}
+	if far < 0 {
+		t.Skip("no far group")
+	}
+	reqs := []Request{{Src: 0, Dst: far * 2}}
+	sched, failed := GreedySchedule(sg, reqs)
+	if len(failed) != 1 || sched.Transmissions() != 0 {
+		t.Fatal("unroutable request should be reported")
+	}
+}
+
+func TestGreedyMatchesLowerBoundOnSerialLoad(t *testing.T) {
+	// All requests from one node: schedule length == request count == bound.
+	p := pops.New(3, 3)
+	sg := p.StackGraph()
+	var reqs []Request
+	for j := 0; j < 3; j++ {
+		reqs = append(reqs, Request{Src: p.NodeID(0, 0), Dst: p.NodeID(j, 1)})
+	}
+	sched, failed := GreedySchedule(sg, reqs)
+	if len(failed) != 0 {
+		t.Fatal("no failures expected")
+	}
+	lb := GreedyLowerBound(sg, reqs)
+	if sched.Slots() != lb || lb != 3 {
+		t.Fatalf("slots = %d, lower bound = %d, want 3", sched.Slots(), lb)
+	}
+}
+
+func TestGreedyLowerBoundIgnoresUnroutable(t *testing.T) {
+	p := pops.New(2, 2)
+	sg := p.StackGraph()
+	if lb := GreedyLowerBound(sg, []Request{}); lb != 0 {
+		t.Fatal("empty batch has bound 0")
+	}
+	_ = sg
+}
+
+// Property: greedy schedules are always valid, place every routable
+// request, and are within 2x of the resource lower bound (list scheduling
+// on two constraint families).
+func TestGreedyScheduleProperty(t *testing.T) {
+	p := pops.New(3, 4)
+	sg := p.StackGraph()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var reqs []Request
+		for i := 0; i < 40; i++ {
+			src := rng.Intn(sg.N())
+			dst := rng.Intn(sg.N())
+			if src == dst {
+				continue
+			}
+			reqs = append(reqs, Request{Src: src, Dst: dst})
+		}
+		sched, failed := GreedySchedule(sg, reqs)
+		if len(failed) != 0 { // POPS is single-hop: everything routable
+			return false
+		}
+		if sched.Validate(sg) != nil {
+			return false
+		}
+		if sched.Transmissions() != len(reqs) {
+			return false
+		}
+		lb := GreedyLowerBound(sg, reqs)
+		return sched.Slots() >= lb && sched.Slots() <= 2*lb
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the TDMA frame of any POPS network validates and has the
+// closed-form length.
+func TestTDMAFrameProperty(t *testing.T) {
+	f := func(tu, gu uint8) bool {
+		tt := 1 + int(tu)%5
+		g := 1 + int(gu)%4
+		sg := pops.New(tt, g).StackGraph()
+		frame := TDMAFrame(sg)
+		if frame.Validate(sg) != nil {
+			return false
+		}
+		return frame.Slots() == FrameLength(tt, g)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,65 @@
+package core
+
+// Design ablation (DESIGN.md §5): the paper routes the stack-Kautz loop
+// couplers through fiber rather than enlarging the central OTIS. These
+// tests document why the obvious alternative — one central OTIS(d+1, G)
+// carrying all d+1 couplers per group — realizes the WRONG topology: it
+// yields ς(s, II(d+1,G)), and II(d+1,G) is not KG⁺(d,k) (it generally has
+// no loop at every vertex, so intra-group communication breaks).
+
+import (
+	"testing"
+
+	"otisnet/internal/digraph"
+	"otisnet/internal/imase"
+	"otisnet/internal/kautz"
+)
+
+func TestAblationLoopsViaBiggerOTISWrongTopology(t *testing.T) {
+	// SK(·,3,2): G = 12 groups. Correct base: II(3,12) + loops = KG⁺(3,2).
+	// Alternative hardware: II(4,12).
+	G := kautz.N(3, 2)
+	correct := digraph.AddLoops(imase.New(3, G).Digraph())
+	alternative := imase.New(4, G).Digraph()
+	if digraph.Isomorphic(correct, alternative) {
+		t.Fatal("II(4,12) should NOT be KG⁺(3,2)")
+	}
+	// Decisively: KG⁺ has a loop at every vertex; II(4,12) does not.
+	if alternative.LoopCount() == G {
+		t.Fatal("II(4,12) unexpectedly has loops everywhere")
+	}
+	if correct.LoopCount() != G {
+		t.Fatal("KG⁺ must have a loop at every vertex")
+	}
+}
+
+func TestAblationLoopFreeDesignBreaksIntraGroup(t *testing.T) {
+	// A design without the fiber loop has node degree d and cannot deliver
+	// intra-group messages in one hop: its group digraph has no loops at
+	// Kautz orders (II(d, d^{k-1}(d+1)) = KG(d,k) is loopless).
+	d := buildMultiOPS(4, 3, kautz.N(3, 2), false)
+	d.Name = "SK-without-loops(4,3,2)"
+	if err := d.Verify(); err != nil {
+		// The design is still internally consistent (it realizes
+		// ς(s, II(3,12))) — it just isn't a stack-Kautz⁺ network.
+		t.Fatalf("loop-free design should still verify against its own target: %v", err)
+	}
+	if d.GroupDigraph().LoopCount() != 0 {
+		t.Fatal("Kautz-order II graph must be loopless")
+	}
+	// Whereas the paper's design has all loops.
+	full := DesignStackKautz(4, 3, 2)
+	if full.GroupDigraph().LoopCount() != full.Groups {
+		t.Fatal("paper design must have a loop coupler per group")
+	}
+}
+
+func TestAblationFiberCountMatchesGroups(t *testing.T) {
+	// The fiber loop budget is exactly one per group across the family.
+	for _, p := range []struct{ s, d, k int }{{2, 2, 2}, {6, 3, 2}, {3, 2, 3}} {
+		de := DesignStackKautz(p.s, p.d, p.k)
+		if got := de.NL.Count("FIBER"); got != kautz.N(p.d, p.k) {
+			t.Fatalf("SK(%d,%d,%d): %d fibers, want %d", p.s, p.d, p.k, got, kautz.N(p.d, p.k))
+		}
+	}
+}

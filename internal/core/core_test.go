@@ -1,0 +1,308 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"otisnet/internal/optical"
+	"otisnet/internal/stackkautz"
+)
+
+func TestBuildGroupInputFig8(t *testing.T) {
+	// Fig. 8: 6 processors, 4 multiplexers, one OTIS(6,4).
+	nl := optical.NewNetlist()
+	txs, muxes := BuildGroupInput(nl, 6, 4, "g")
+	if len(txs) != 6 || len(muxes) != 4 {
+		t.Fatalf("txs=%d muxes=%d", len(txs), len(muxes))
+	}
+	if nl.Count("OTIS(6,4)") != 1 || nl.Count("MUX(6)") != 4 || nl.Count("TX[4]") != 6 {
+		bom, _ := nl.BOM()
+		t.Fatalf("BOM wrong: %v", bom)
+	}
+	// Each beam must land in exactly one mux; beam b of any processor in
+	// mux 4-1-b.
+	for y := 0; y < 6; y++ {
+		for b := 0; b < 4; b++ {
+			if BeamForMux(4, 4-1-b) != b {
+				t.Fatal("BeamForMux inconsistent")
+			}
+		}
+	}
+}
+
+func TestBuildGroupOutputFig9(t *testing.T) {
+	// Fig. 9: 3 beam-splitters, 5 processors, one OTIS(3,5).
+	nl := optical.NewNetlist()
+	splits, rxs := BuildGroupOutput(nl, 3, 5, "g")
+	if len(splits) != 3 || len(rxs) != 5 {
+		t.Fatalf("splits=%d rxs=%d", len(splits), len(rxs))
+	}
+	if nl.Count("OTIS(3,5)") != 1 || nl.Count("SPLITTER(5)") != 3 || nl.Count("RX[3]") != 5 {
+		bom, _ := nl.BOM()
+		t.Fatalf("BOM wrong: %v", bom)
+	}
+}
+
+func TestGroupBlocksComposeEndToEnd(t *testing.T) {
+	// Wire a group-input block directly into a group-output block through
+	// bare fibers (degree-1 "couplers"): every beam of every processor must
+	// reach all 5 receivers of the destination side exactly once per port.
+	nl := optical.NewNetlist()
+	txs, muxes := BuildGroupInput(nl, 5, 3, "in")
+	splits, rxs := BuildGroupOutput(nl, 3, 5, "out")
+	for m := range muxes {
+		f := nl.AddComponent(optical.Fiber, "FIBER", nl.Component(muxes[m]).Name+"/f", 1, 1, nil)
+		nl.MustConnect(muxes[m], 0, f, 0)
+		nl.MustConnect(f, 0, splits[m], 0)
+	}
+	if err := nl.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for y, tx := range txs {
+		for b := 0; b < 3; b++ {
+			sinks, err := nl.Trace(tx, b)
+			if err != nil {
+				t.Fatalf("trace (%d,%d): %v", y, b, err)
+			}
+			if len(sinks) != 5 {
+				t.Fatalf("beam (%d,%d) reached %d sinks, want 5", y, b, len(sinks))
+			}
+			seen := map[int]bool{}
+			for _, s := range sinks {
+				if seen[s.Comp] {
+					t.Fatal("duplicate receiver")
+				}
+				seen[s.Comp] = true
+			}
+			for _, rx := range rxs {
+				if !seen[rx] {
+					t.Fatal("missed a receiver")
+				}
+			}
+		}
+	}
+}
+
+func TestDesignPOPSFig11(t *testing.T) {
+	// Fig. 11: POPS(4,2) uses 2 group-input OTIS(4,2), 2 group-output
+	// OTIS(2,4), one central OTIS(2,2), 4 muxes and 4 splitters.
+	d := DesignPOPS(4, 2)
+	if err := d.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	checks := map[string]int{
+		"OTIS(4,2)": 2, "OTIS(2,4)": 2, "OTIS(2,2)": 1,
+		"MUX(4)": 4, "SPLITTER(4)": 4, "TX[2]": 8, "RX[2]": 8,
+	}
+	for class, want := range checks {
+		if got := d.NL.Count(class); got != want {
+			t.Errorf("%s count = %d, want %d", class, got, want)
+		}
+	}
+	if d.NL.Count("FIBER") != 0 {
+		t.Error("POPS needs no fiber loops (K+g loops ride the central OTIS)")
+	}
+}
+
+func TestDesignPOPSDestGroup(t *testing.T) {
+	// POPS beam b of any group drives coupler (x, b): destination group b.
+	d := DesignPOPS(3, 4)
+	for x := 0; x < 4; x++ {
+		for b := 0; b < 4; b++ {
+			if got := d.DestGroup(x, b); got != b {
+				t.Fatalf("DestGroup(%d,%d) = %d, want %d", x, b, got, b)
+			}
+		}
+	}
+}
+
+func TestDesignStackKautzFig12(t *testing.T) {
+	// Fig. 12 / §4.2: SK(6,3,2) uses 12 OTIS(6,4), 12 OTIS(4,6), 48
+	// multiplexers, 48 beam-splitters and one OTIS(3,12); loops by fiber.
+	d := DesignStackKautz(6, 3, 2)
+	if err := d.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	checks := map[string]int{
+		"OTIS(6,4)": 12, "OTIS(4,6)": 12, "OTIS(3,12)": 1,
+		"MUX(6)": 48, "SPLITTER(6)": 48, "FIBER": 12,
+		"TX[4]": 72, "RX[4]": 72,
+	}
+	for class, want := range checks {
+		if got := d.NL.Count(class); got != want {
+			t.Errorf("%s count = %d, want %d", class, got, want)
+		}
+	}
+	if d.N() != 72 || d.NodeDegree() != 4 {
+		t.Fatal("SK(6,3,2) node parameters wrong")
+	}
+}
+
+func TestDesignVerifySweep(t *testing.T) {
+	// End-to-end verification across a family of designs.
+	designs := []*Design{
+		DesignPOPS(1, 1),
+		DesignPOPS(2, 2),
+		DesignPOPS(4, 2),
+		DesignPOPS(2, 5),
+		DesignStackKautz(2, 2, 2),
+		DesignStackKautz(3, 2, 3),
+		DesignStackKautz(1, 3, 2),
+		DesignStackImase(2, 3, 10), // non-Kautz order, has an II self-arc
+		DesignStackImase(3, 2, 7),
+		DesignStackImase(2, 4, 3), // n < d: parallel arcs in II
+	}
+	for _, d := range designs {
+		if err := d.Verify(); err != nil {
+			t.Errorf("%s: %v", d.Name, err)
+		}
+	}
+}
+
+func TestDesignMatchesStackKautzTopology(t *testing.T) {
+	// The design's group digraph must be isomorphic (as II is to Kautz) to
+	// the stack-Kautz network's base digraph.
+	sk := stackkautz.New(3, 2, 2)
+	d := DesignStackKautz(3, 2, 2)
+	num := stackkautz.GroupNumbering(sk)
+	if num == nil {
+		t.Fatal("group numbering must exist")
+	}
+	kg := sk.Kautz().Digraph() // no loops; design adds loop per group
+	gd := d.GroupDigraph()
+	for u := 0; u < kg.N(); u++ {
+		for _, v := range kg.Out(u) {
+			if !gd.HasArc(num[u], num[v]) {
+				t.Fatalf("design missing arc for Kautz arc %d->%d", u, v)
+			}
+		}
+		if !gd.HasLoop(num[u]) {
+			t.Fatalf("design missing loop at group %d", num[u])
+		}
+	}
+}
+
+func TestTargetStackGraphShape(t *testing.T) {
+	d := DesignStackKautz(6, 3, 2)
+	sg := d.TargetStackGraph()
+	if sg.N() != 72 || sg.M() != 48 {
+		t.Fatalf("target stack graph: n=%d m=%d, want 72, 48", sg.N(), sg.M())
+	}
+	if sg.Diameter() != 2 {
+		t.Fatalf("target diameter = %d, want 2", sg.Diameter())
+	}
+}
+
+func TestBOMSummaryFormat(t *testing.T) {
+	s := DesignPOPS(2, 2).BOMSummary()
+	if !strings.Contains(s, "POPS(2,2)") || !strings.Contains(s, "OTIS(2,2)") {
+		t.Fatalf("summary missing content:\n%s", s)
+	}
+}
+
+func TestDestGroupPanics(t *testing.T) {
+	d := DesignPOPS(2, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid beam should panic")
+		}
+	}()
+	d.DestGroup(0, 5)
+}
+
+func TestBuildInvalidPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid parameters should panic")
+		}
+	}()
+	DesignPOPS(0, 2)
+}
+
+// The closed-form BOM of §4: POPS(t,g) uses g OTIS(t,g) + g OTIS(g,t) +
+// 1 OTIS(g,g) + g² muxes of degree t + g² splitters; SK-like designs over n
+// groups use n OTIS(s,d+1) + n OTIS(d+1,s) + 1 OTIS(d,n) + n(d+1) muxes +
+// n(d+1) splitters + n fibers.
+func TestClosedFormBOMProperty(t *testing.T) {
+	f := func(a, b uint8) bool {
+		tt := 1 + int(a)%4
+		g := 1 + int(b)%4
+		d := DesignPOPS(tt, g)
+		bom, _ := d.NL.BOM()
+		popsOK :=
+			bom[otisClass(tt, g)] >= g && // == g unless classes collide (t==g)
+				bom[otisClass(g, tt)] >= g &&
+				totalMux(bom) == g*g &&
+				totalSplit(bom) == g*g
+		if tt != g {
+			popsOK = popsOK && bom[otisClass(tt, g)] == g && bom[otisClass(g, tt)] == g &&
+				bom[otisClass(g, g)] == 1
+		} else {
+			// All three classes coincide: 2g+1 blocks of OTIS(g,g).
+			popsOK = popsOK && bom[otisClass(g, g)] == 2*g+1
+		}
+		s := 1 + int(b)%3
+		dd := 2 + int(a)%2
+		n := 2 + int(a+b)%8
+		sk := DesignStackImase(s, dd, n)
+		skBOM, _ := sk.NL.BOM()
+		skOK := skBOM["FIBER"] == n &&
+			totalMux(skBOM) == n*(dd+1) &&
+			totalSplit(skBOM) == n*(dd+1) &&
+			skBOM[otisClass(dd, n)] >= 1
+		return popsOK && skOK
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func otisClass(g, t int) string {
+	return "OTIS(" + itoa(g) + "," + itoa(t) + ")"
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var digits []byte
+	for n > 0 {
+		digits = append([]byte{byte('0' + n%10)}, digits...)
+		n /= 10
+	}
+	return string(digits)
+}
+
+func totalMux(bom map[string]int) int {
+	c := 0
+	for class, n := range bom {
+		if strings.HasPrefix(class, "MUX(") {
+			c += n
+		}
+	}
+	return c
+}
+
+func totalSplit(bom map[string]int) int {
+	c := 0
+	for class, n := range bom {
+		if strings.HasPrefix(class, "SPLITTER(") {
+			c += n
+		}
+	}
+	return c
+}
+
+// Property: random stack-Imase designs always verify end to end.
+func TestRandomDesignsVerifyProperty(t *testing.T) {
+	f := func(su, du, nu uint8) bool {
+		s := 1 + int(su)%3
+		d := 1 + int(du)%3
+		n := 1 + int(nu)%12
+		return DesignStackImase(s, d, n).Verify() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

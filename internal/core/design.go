@@ -1,0 +1,256 @@
+// Package core is the paper's primary contribution as a library: it
+// assembles OTIS free-space blocks, optical multiplexers, beam-splitters
+// and fiber loopbacks into complete optical designs for multi-OPS networks,
+// and *proves* each design correct by tracing every transmitter beam
+// through the netlist and comparing the receivers it reaches with the
+// target stack-graph topology.
+//
+// Three constructions from the paper are provided:
+//
+//   - BuildGroupInput / BuildGroupOutput — §3.1, Figures 8 and 9: one
+//     OTIS(t,g) connects the t processors of a group (g transmitter beams
+//     each) to g optical multiplexers; one OTIS(g,t) connects g
+//     beam-splitters to the t processors (g receiver ports each).
+//   - DesignPOPS — §4.1, Figure 11: POPS(t,g) with g input-side OTIS(t,g),
+//     g output-side OTIS(g,t), g² couplers and one central OTIS(g,g)
+//     (II(g,g) = K⁺_g, so the loops ride through the OTIS).
+//   - DesignStackKautz / DesignStackImase — §4.2, Figure 12: SK(s,d,k)
+//     (more generally ς(s, II⁺(d,n))) with one OTIS(s,d+1) and one
+//     OTIS(d+1,s) per group, n(d+1) couplers, one central OTIS(d,n) and
+//     one fiber loopback per group.
+package core
+
+import (
+	"fmt"
+
+	"otisnet/internal/digraph"
+	"otisnet/internal/hypergraph"
+	"otisnet/internal/imase"
+	"otisnet/internal/kautz"
+	"otisnet/internal/optical"
+	"otisnet/internal/otis"
+)
+
+// Design is a complete optical design for a multi-OPS network: a validated
+// netlist plus the node bookkeeping needed to verify it against its target
+// topology.
+type Design struct {
+	// Name describes the design ("POPS(4,2)", "SK(6,3,2)", ...).
+	Name string
+	// NL is the component netlist.
+	NL *optical.Netlist
+	// S is the group size (coupler degree), Groups the group count.
+	S, Groups int
+	// DD is the number of couplers per group routed through the central
+	// OTIS(DD, Groups); Loop indicates one extra loop coupler per group
+	// wired by fiber. The per-node degree is DD + (Loop ? 1 : 0).
+	DD   int
+	Loop bool
+	// Tx[x][y] and Rx[x][y] are the component ids of the transmitter and
+	// receiver arrays of processor (group x, member y).
+	Tx, Rx [][]int
+}
+
+// NodeDegree returns the number of beams per processor.
+func (d *Design) NodeDegree() int {
+	if d.Loop {
+		return d.DD + 1
+	}
+	return d.DD
+}
+
+// N returns the number of processors.
+func (d *Design) N() int { return d.S * d.Groups }
+
+// DesignPOPS builds the complete optical design of POPS(t,g) (Fig. 11).
+func DesignPOPS(t, g int) *Design {
+	d := buildMultiOPS(t, g, g, false)
+	d.Name = fmt.Sprintf("POPS(%d,%d)", t, g)
+	return d
+}
+
+// DesignStackImase builds the complete optical design of the
+// stack-Imase-Itoh network ς(s, II⁺(d,n)): group adjacency II(d,n) through
+// a central OTIS(d,n), plus a fiber loop coupler per group.
+func DesignStackImase(s, d, n int) *Design {
+	de := buildMultiOPS(s, d, n, true)
+	de.Name = fmt.Sprintf("stack-II(%d,%d,%d)", s, d, n)
+	return de
+}
+
+// DesignStackKautz builds the complete optical design of SK(s,d,k)
+// (Fig. 12). Groups are numbered as II(d, d^{k-1}(d+1)) nodes, which by
+// Corollary 1 is the Kautz graph; use stackkautz.GroupNumbering to map
+// Kautz words onto this numbering.
+func DesignStackKautz(s, d, k int) *Design {
+	de := buildMultiOPS(s, d, kautz.N(d, k), true)
+	de.Name = fmt.Sprintf("SK(%d,%d,%d)", s, d, k)
+	return de
+}
+
+// buildMultiOPS assembles the generic multi-OPS design: groups of size s,
+// dd inter-group couplers per group through a central OTIS(dd, groups),
+// optionally one loop coupler per group by fiber.
+func buildMultiOPS(s, dd, groups int, loop bool) *Design {
+	if s < 1 || dd < 1 || groups < 1 {
+		panic(fmt.Sprintf("core: invalid design s=%d dd=%d groups=%d", s, dd, groups))
+	}
+	deg := dd
+	if loop {
+		deg++
+	}
+	nl := optical.NewNetlist()
+	d := &Design{
+		NL: nl, S: s, Groups: groups, DD: dd, Loop: loop,
+		Tx: make([][]int, groups), Rx: make([][]int, groups),
+	}
+
+	central := otis.New(dd, groups)
+	centralID := nl.AddComponent(optical.OTISBlock, central.String(),
+		"central/"+central.String(), central.Ports(), central.Ports(), central.Permutation())
+
+	muxes := make([][]int, groups)  // muxes[x][m]: mux m of group x
+	splits := make([][]int, groups) // splits[x][a]: splitter a of group x
+	for x := 0; x < groups; x++ {
+		txs, mx := BuildGroupInput(nl, s, deg, fmt.Sprintf("group%d", x))
+		sp, rxs := BuildGroupOutput(nl, deg, s, fmt.Sprintf("group%d", x))
+		d.Tx[x] = txs
+		d.Rx[x] = rxs
+		muxes[x] = mx
+		splits[x] = sp
+	}
+
+	// Central interconnection: group x's muxes 0..dd-1 feed the central
+	// OTIS inputs dd·x .. dd·x+dd-1 (the Proposition 1 association); its
+	// outputs dd·v+a feed splitter a of group v. The loop mux (index dd)
+	// loops back by fiber to the loop splitter of the same group.
+	for x := 0; x < groups; x++ {
+		for m := 0; m < dd; m++ {
+			nl.MustConnect(muxes[x][m], 0, centralID, dd*x+m)
+		}
+		if loop {
+			f := nl.AddComponent(optical.Fiber, "FIBER",
+				fmt.Sprintf("group%d/loop", x), 1, 1, nil)
+			nl.MustConnect(muxes[x][dd], 0, f, 0)
+			nl.MustConnect(f, 0, splits[x][dd], 0)
+		}
+	}
+	for o := 0; o < central.Ports(); o++ {
+		v, a := o/dd, o%dd
+		nl.MustConnect(centralID, o, splits[v][a], 0)
+	}
+	return d
+}
+
+// BuildGroupInput realizes §3.1 / Fig. 8: the p transmitter beams of each
+// of t processors reach p optical multiplexers of t inputs each, through
+// one OTIS(t,p). It returns the transmitter-array and multiplexer
+// component ids (mux m collects the beams aimed at coupler m). The wiring:
+// beam b of processor y enters OTIS input (y,b) and exits at output
+// (p-1-b, t-1-y), i.e. mux p-1-b, port t-1-y.
+func BuildGroupInput(nl *optical.Netlist, t, p int, prefix string) (txs, muxes []int) {
+	o := otis.New(t, p)
+	blk := nl.AddComponent(optical.OTISBlock, o.String(),
+		fmt.Sprintf("%s/in-%s", prefix, o), o.Ports(), o.Ports(), o.Permutation())
+	txs = make([]int, t)
+	for y := 0; y < t; y++ {
+		txs[y] = nl.AddComponent(optical.TxArray, fmt.Sprintf("TX[%d]", p),
+			fmt.Sprintf("%s/tx%d", prefix, y), 0, p, nil)
+		for b := 0; b < p; b++ {
+			nl.MustConnect(txs[y], b, blk, o.InputIndex(y, b))
+		}
+	}
+	muxes = make([]int, p)
+	for m := 0; m < p; m++ {
+		muxes[m] = nl.AddComponent(optical.Mux, fmt.Sprintf("MUX(%d)", t),
+			fmt.Sprintf("%s/mux%d", prefix, m), t, 1, nil)
+	}
+	for oi := 0; oi < p; oi++ {
+		for oj := 0; oj < t; oj++ {
+			nl.MustConnect(blk, o.OutputIndex(oi, oj), muxes[oi], oj)
+		}
+	}
+	// The beam aimed at mux m is beam p-1-m: invert so callers can reason
+	// in mux order. (Documented by BeamForMux.)
+	return txs, muxes
+}
+
+// BeamForMux returns which transmitter beam index reaches mux m in a
+// BuildGroupInput block with p muxes: the OTIS transpose sends beam b to
+// mux p-1-b, so the beam for mux m is p-1-m.
+func BeamForMux(p, m int) int { return p - 1 - m }
+
+// BuildGroupOutput realizes §3.1 / Fig. 9: p beam-splitters of t outputs
+// each reach the t processors of a group (p receiver ports each) through
+// one OTIS(p,t). It returns the splitter and receiver-array component ids
+// (splitter a is the output side of incoming coupler a). The wiring:
+// splitter a's output j enters OTIS input (a,j) and exits at output
+// (t-1-j, p-1-a), i.e. receiver t-1-j, port p-1-a.
+func BuildGroupOutput(nl *optical.Netlist, p, t int, prefix string) (splits, rxs []int) {
+	o := otis.New(p, t)
+	blk := nl.AddComponent(optical.OTISBlock, o.String(),
+		fmt.Sprintf("%s/out-%s", prefix, o), o.Ports(), o.Ports(), o.Permutation())
+	splits = make([]int, p)
+	for a := 0; a < p; a++ {
+		splits[a] = nl.AddComponent(optical.Splitter, fmt.Sprintf("SPLITTER(%d)", t),
+			fmt.Sprintf("%s/split%d", prefix, a), 1, t, nil)
+		for j := 0; j < t; j++ {
+			nl.MustConnect(splits[a], j, blk, o.InputIndex(a, j))
+		}
+	}
+	rxs = make([]int, t)
+	for y := 0; y < t; y++ {
+		rxs[y] = nl.AddComponent(optical.RxArray, fmt.Sprintf("RX[%d]", p),
+			fmt.Sprintf("%s/rx%d", prefix, y), p, 0, nil)
+	}
+	for oi := 0; oi < t; oi++ {
+		for oj := 0; oj < p; oj++ {
+			nl.MustConnect(blk, o.OutputIndex(oi, oj), rxs[oi], oj)
+		}
+	}
+	return splits, rxs
+}
+
+// DestGroup returns the group reached by beam b of a processor in group x,
+// derived from the transpose algebra: beam b feeds mux m = deg-1-b; the
+// loop mux (m == DD, only when Loop) returns to x; other muxes enter the
+// central OTIS as input α = m+1 of node x and land on node
+// (-DD·x - α) mod Groups — the Imase-Itoh neighborhood.
+func (d *Design) DestGroup(x, b int) int {
+	deg := d.NodeDegree()
+	if b < 0 || b >= deg || x < 0 || x >= d.Groups {
+		panic(fmt.Sprintf("core: invalid beam (%d,%d)", x, b))
+	}
+	m := deg - 1 - b
+	if d.Loop && m == d.DD {
+		return x
+	}
+	alpha := m + 1
+	v := (-d.DD*x - alpha) % d.Groups
+	if v < 0 {
+		v += d.Groups
+	}
+	return v
+}
+
+// GroupDigraph returns the group-level digraph the design realizes:
+// II(DD, Groups), plus one loop per group when Loop is set. For POPS
+// (DD == Groups == g, no fiber loop) this is II(g,g) = K⁺_g.
+func (d *Design) GroupDigraph() *digraph.Digraph {
+	g := digraph.New(d.Groups)
+	for x := 0; x < d.Groups; x++ {
+		for _, v := range imase.Neighbors(d.DD, d.Groups, x) {
+			g.AddArc(x, v)
+		}
+		if d.Loop {
+			g.AddArc(x, x)
+		}
+	}
+	return g
+}
+
+// TargetStackGraph returns the stack-graph ς(S, GroupDigraph) the design
+// must realize.
+func (d *Design) TargetStackGraph() *hypergraph.StackGraph {
+	return hypergraph.NewStackGraph(d.S, d.GroupDigraph())
+}

@@ -1,0 +1,62 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"otisnet/internal/optical"
+)
+
+// Power integration: the worst-case received power of a built design must
+// match the closed-form path budget. An inter-group path of SK traverses
+// group-input OTIS + mux + central OTIS + splitter + group-output OTIS;
+// the loop path swaps the central OTIS for a fiber.
+func TestDesignWorstCasePowerClosedForm(t *testing.T) {
+	d := DesignStackKautz(6, 3, 2)
+	pm := optical.DefaultPowerModel()
+	worst, err := d.NL.WorstCasePower(pm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	split := 10 * math.Log10(6) // degree-6 splitters
+	inter := pm.LaunchDBm - 3*pm.OTISLossDB - pm.MuxLossDB - pm.SplitterExcessDB - split
+	loop := pm.LaunchDBm - 2*pm.OTISLossDB - pm.FiberLossDB - pm.MuxLossDB - pm.SplitterExcessDB - split
+	want := math.Min(inter, loop)
+	if math.Abs(worst-want) > 1e-9 {
+		t.Fatalf("worst-case power %v dBm, want %v (inter %v, loop %v)",
+			worst, want, inter, loop)
+	}
+}
+
+func TestPOPSWorstCasePowerClosedForm(t *testing.T) {
+	d := DesignPOPS(4, 2)
+	pm := optical.DefaultPowerModel()
+	worst, err := d.NL.WorstCasePower(pm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every POPS path: group-in OTIS + mux + central OTIS + splitter +
+	// group-out OTIS.
+	want := pm.LaunchDBm - 3*pm.OTISLossDB - pm.MuxLossDB - pm.SplitterExcessDB - 10*math.Log10(4)
+	if math.Abs(worst-want) > 1e-9 {
+		t.Fatalf("worst-case power %v dBm, want %v", worst, want)
+	}
+}
+
+// The power budget is dominated by the splitting loss: doubling the group
+// size costs ~3 dB — the scaling law that caps s (introduction's
+// technology argument).
+func TestPowerScalesWithGroupSize(t *testing.T) {
+	pm := optical.DefaultPowerModel()
+	w8, err := DesignStackKautz(8, 2, 2).NL.WorstCasePower(pm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w16, err := DesignStackKautz(16, 2, 2).NL.WorstCasePower(pm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs((w8-w16)-10*math.Log10(2)) > 1e-9 {
+		t.Fatalf("doubling s should cost exactly 3.01 dB, got %v", w8-w16)
+	}
+}

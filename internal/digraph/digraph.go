@@ -1,0 +1,201 @@
+// Package digraph provides the directed-graph substrate used throughout the
+// OTIS / multi-OPS reproduction: adjacency storage, traversal and distance
+// metrics, line-digraph iteration, exact isomorphism testing, Eulerian and
+// Hamiltonian structure checks, and generators for the classical digraphs
+// the paper builds on (complete digraphs with and without loops).
+//
+// All graphs are simple in the multigraph sense used by the paper: parallel
+// arcs are permitted (line digraph iteration of K_{d+1} never creates them,
+// but II(d,n) for small n does), and loops are permitted and significant
+// (the stack-Kautz network is built on the Kautz graph *with* loops).
+package digraph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Digraph is a directed multigraph on vertices 0..n-1 stored as out-adjacency
+// lists. The zero value is an empty graph with no vertices; use New to create
+// a graph with a fixed vertex count.
+type Digraph struct {
+	n   int
+	out [][]int
+	in  [][]int
+	m   int
+}
+
+// New returns an empty digraph with n vertices and no arcs.
+func New(n int) *Digraph {
+	if n < 0 {
+		panic(fmt.Sprintf("digraph: negative vertex count %d", n))
+	}
+	return &Digraph{
+		n:   n,
+		out: make([][]int, n),
+		in:  make([][]int, n),
+	}
+}
+
+// N returns the number of vertices.
+func (g *Digraph) N() int { return g.n }
+
+// M returns the number of arcs, counting multiplicities and loops.
+func (g *Digraph) M() int { return g.m }
+
+// AddArc adds the arc u -> v. Loops (u == v) and parallel arcs are allowed.
+func (g *Digraph) AddArc(u, v int) {
+	g.check(u)
+	g.check(v)
+	g.out[u] = append(g.out[u], v)
+	g.in[v] = append(g.in[v], u)
+	g.m++
+}
+
+func (g *Digraph) check(v int) {
+	if v < 0 || v >= g.n {
+		panic(fmt.Sprintf("digraph: vertex %d out of range [0,%d)", v, g.n))
+	}
+}
+
+// Out returns the out-neighbor list of u. The returned slice is owned by the
+// graph and must not be modified.
+func (g *Digraph) Out(u int) []int {
+	g.check(u)
+	return g.out[u]
+}
+
+// In returns the in-neighbor list of u. The returned slice is owned by the
+// graph and must not be modified.
+func (g *Digraph) In(u int) []int {
+	g.check(u)
+	return g.in[u]
+}
+
+// OutDegree returns the out-degree of u (loops count once).
+func (g *Digraph) OutDegree(u int) int { return len(g.Out(u)) }
+
+// InDegree returns the in-degree of u (loops count once).
+func (g *Digraph) InDegree(u int) int { return len(g.In(u)) }
+
+// HasArc reports whether at least one arc u -> v exists.
+func (g *Digraph) HasArc(u, v int) bool {
+	for _, w := range g.Out(u) {
+		if w == v {
+			return true
+		}
+	}
+	return false
+}
+
+// ArcMultiplicity returns the number of parallel arcs u -> v.
+func (g *Digraph) ArcMultiplicity(u, v int) int {
+	c := 0
+	for _, w := range g.Out(u) {
+		if w == v {
+			c++
+		}
+	}
+	return c
+}
+
+// HasLoop reports whether vertex u carries a loop.
+func (g *Digraph) HasLoop(u int) bool { return g.HasArc(u, u) }
+
+// LoopCount returns the number of vertices carrying at least one loop.
+func (g *Digraph) LoopCount() int {
+	c := 0
+	for u := 0; u < g.n; u++ {
+		if g.HasLoop(u) {
+			c++
+		}
+	}
+	return c
+}
+
+// Clone returns a deep copy of the graph.
+func (g *Digraph) Clone() *Digraph {
+	h := New(g.n)
+	for u := 0; u < g.n; u++ {
+		for _, v := range g.out[u] {
+			h.AddArc(u, v)
+		}
+	}
+	return h
+}
+
+// Arcs returns all arcs as (from, to) pairs in vertex order. Parallel arcs
+// appear once per multiplicity.
+func (g *Digraph) Arcs() [][2]int {
+	arcs := make([][2]int, 0, g.m)
+	for u := 0; u < g.n; u++ {
+		for _, v := range g.out[u] {
+			arcs = append(arcs, [2]int{u, v})
+		}
+	}
+	return arcs
+}
+
+// SortAdjacency sorts every adjacency list in increasing vertex order.
+// Useful before comparing graphs structurally or printing deterministically.
+func (g *Digraph) SortAdjacency() {
+	for u := 0; u < g.n; u++ {
+		sort.Ints(g.out[u])
+		sort.Ints(g.in[u])
+	}
+}
+
+// Equal reports whether g and h have identical vertex counts and identical
+// arc multisets. It is label-sensitive (not an isomorphism test).
+func (g *Digraph) Equal(h *Digraph) bool {
+	if g.n != h.n || g.m != h.m {
+		return false
+	}
+	for u := 0; u < g.n; u++ {
+		if len(g.out[u]) != len(h.out[u]) {
+			return false
+		}
+		a := append([]int(nil), g.out[u]...)
+		b := append([]int(nil), h.out[u]...)
+		sort.Ints(a)
+		sort.Ints(b)
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// MaxOutDegree returns the maximum out-degree over all vertices (0 for the
+// empty graph).
+func (g *Digraph) MaxOutDegree() int {
+	d := 0
+	for u := 0; u < g.n; u++ {
+		if len(g.out[u]) > d {
+			d = len(g.out[u])
+		}
+	}
+	return d
+}
+
+// IsRegular reports whether every vertex has out-degree and in-degree d.
+func (g *Digraph) IsRegular(d int) bool {
+	for u := 0; u < g.n; u++ {
+		if len(g.out[u]) != d || len(g.in[u]) != d {
+			return false
+		}
+	}
+	return true
+}
+
+// String returns a compact human-readable adjacency dump, one vertex per
+// line, suitable for small paper-scale graphs.
+func (g *Digraph) String() string {
+	s := fmt.Sprintf("digraph n=%d m=%d\n", g.n, g.m)
+	for u := 0; u < g.n; u++ {
+		s += fmt.Sprintf("  %d -> %v\n", u, g.out[u])
+	}
+	return s
+}

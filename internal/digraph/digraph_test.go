@@ -1,0 +1,513 @@
+package digraph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewEmpty(t *testing.T) {
+	g := New(5)
+	if g.N() != 5 || g.M() != 0 {
+		t.Fatalf("got n=%d m=%d, want 5, 0", g.N(), g.M())
+	}
+	for u := 0; u < 5; u++ {
+		if g.OutDegree(u) != 0 || g.InDegree(u) != 0 {
+			t.Fatalf("vertex %d should be isolated", u)
+		}
+	}
+}
+
+func TestNewNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(-1) should panic")
+		}
+	}()
+	New(-1)
+}
+
+func TestAddArcOutOfRangePanics(t *testing.T) {
+	g := New(2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AddArc(0, 5) should panic")
+		}
+	}()
+	g.AddArc(0, 5)
+}
+
+func TestAddArcDegreesAndHasArc(t *testing.T) {
+	g := New(3)
+	g.AddArc(0, 1)
+	g.AddArc(0, 2)
+	g.AddArc(1, 2)
+	g.AddArc(2, 2) // loop
+	if g.M() != 4 {
+		t.Fatalf("M = %d, want 4", g.M())
+	}
+	if g.OutDegree(0) != 2 || g.InDegree(2) != 3 {
+		t.Fatalf("degree mismatch: out(0)=%d in(2)=%d", g.OutDegree(0), g.InDegree(2))
+	}
+	if !g.HasArc(0, 1) || g.HasArc(1, 0) {
+		t.Fatal("HasArc wrong")
+	}
+	if !g.HasLoop(2) || g.HasLoop(0) {
+		t.Fatal("HasLoop wrong")
+	}
+	if g.LoopCount() != 1 {
+		t.Fatalf("LoopCount = %d, want 1", g.LoopCount())
+	}
+}
+
+func TestParallelArcsMultiplicity(t *testing.T) {
+	g := New(2)
+	g.AddArc(0, 1)
+	g.AddArc(0, 1)
+	if g.ArcMultiplicity(0, 1) != 2 {
+		t.Fatalf("multiplicity = %d, want 2", g.ArcMultiplicity(0, 1))
+	}
+	if g.M() != 2 {
+		t.Fatalf("M = %d, want 2", g.M())
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	g := New(3)
+	g.AddArc(0, 1)
+	h := g.Clone()
+	h.AddArc(1, 2)
+	if g.M() != 1 || h.M() != 2 {
+		t.Fatalf("clone not independent: g.M=%d h.M=%d", g.M(), h.M())
+	}
+	if !g.Equal(g.Clone()) {
+		t.Fatal("graph should equal its clone")
+	}
+}
+
+func TestEqualDetectsDifference(t *testing.T) {
+	g := New(3)
+	g.AddArc(0, 1)
+	h := New(3)
+	h.AddArc(1, 0)
+	if g.Equal(h) {
+		t.Fatal("differently-directed graphs reported equal")
+	}
+	if !New(0).Equal(New(0)) {
+		t.Fatal("empty graphs should be equal")
+	}
+}
+
+func TestArcsRoundTrip(t *testing.T) {
+	g := Complete(4)
+	arcs := g.Arcs()
+	if len(arcs) != 12 {
+		t.Fatalf("K4 has %d arcs, want 12", len(arcs))
+	}
+	h := New(4)
+	for _, a := range arcs {
+		h.AddArc(a[0], a[1])
+	}
+	if !g.Equal(h) {
+		t.Fatal("rebuilding from Arcs() changed the graph")
+	}
+}
+
+func TestBFSAndDistance(t *testing.T) {
+	g := Cycle(5)
+	d := g.BFS(0)
+	want := []int{0, 1, 2, 3, 4}
+	for i := range want {
+		if d[i] != want[i] {
+			t.Fatalf("BFS(0)[%d] = %d, want %d", i, d[i], want[i])
+		}
+	}
+	if g.Distance(2, 1) != 4 {
+		t.Fatalf("Distance(2,1) = %d, want 4", g.Distance(2, 1))
+	}
+}
+
+func TestBFSUnreachable(t *testing.T) {
+	g := New(3)
+	g.AddArc(0, 1)
+	d := g.BFS(0)
+	if d[2] != Unreachable {
+		t.Fatalf("vertex 2 should be unreachable, got %d", d[2])
+	}
+	if g.Diameter() != Unreachable {
+		t.Fatal("disconnected graph should report Unreachable diameter")
+	}
+}
+
+func TestShortestPath(t *testing.T) {
+	g := Cycle(6)
+	p := g.ShortestPath(1, 4)
+	want := []int{1, 2, 3, 4}
+	if len(p) != len(want) {
+		t.Fatalf("path = %v, want %v", p, want)
+	}
+	for i := range want {
+		if p[i] != want[i] {
+			t.Fatalf("path = %v, want %v", p, want)
+		}
+	}
+	if p := g.ShortestPath(0, 0); len(p) != 1 || p[0] != 0 {
+		t.Fatalf("self path = %v, want [0]", p)
+	}
+}
+
+func TestShortestPathUnreachable(t *testing.T) {
+	g := New(2)
+	if g.ShortestPath(0, 1) != nil {
+		t.Fatal("unreachable pair should give nil path")
+	}
+}
+
+func TestDiameterComplete(t *testing.T) {
+	if d := Complete(7).Diameter(); d != 1 {
+		t.Fatalf("diameter(K7) = %d, want 1", d)
+	}
+	if d := CompleteWithLoops(7).Diameter(); d != 1 {
+		t.Fatalf("diameter(K+7) = %d, want 1", d)
+	}
+	if d := Cycle(9).Diameter(); d != 8 {
+		t.Fatalf("diameter(C9) = %d, want 8", d)
+	}
+}
+
+func TestAverageDistance(t *testing.T) {
+	if ad := Complete(5).AverageDistance(); ad != 1 {
+		t.Fatalf("avg distance K5 = %v, want 1", ad)
+	}
+	// C3: distances 1 and 2 from each vertex -> mean 1.5
+	if ad := Cycle(3).AverageDistance(); ad != 1.5 {
+		t.Fatalf("avg distance C3 = %v, want 1.5", ad)
+	}
+}
+
+func TestDistanceHistogram(t *testing.T) {
+	h := Cycle(4).DistanceHistogram()
+	want := []int{0, 4, 4, 4}
+	if len(h) != len(want) {
+		t.Fatalf("hist = %v, want %v", h, want)
+	}
+	for i := range want {
+		if h[i] != want[i] {
+			t.Fatalf("hist = %v, want %v", h, want)
+		}
+	}
+}
+
+func TestStronglyConnected(t *testing.T) {
+	if !Cycle(5).IsStronglyConnected() {
+		t.Fatal("C5 is strongly connected")
+	}
+	g := New(3)
+	g.AddArc(0, 1)
+	g.AddArc(1, 2)
+	if g.IsStronglyConnected() {
+		t.Fatal("path graph is not strongly connected")
+	}
+	if !New(0).IsStronglyConnected() {
+		t.Fatal("empty graph is vacuously strongly connected")
+	}
+}
+
+func TestReverse(t *testing.T) {
+	g := New(3)
+	g.AddArc(0, 1)
+	g.AddArc(1, 2)
+	r := g.Reverse()
+	if !r.HasArc(1, 0) || !r.HasArc(2, 1) || r.HasArc(0, 1) {
+		t.Fatal("Reverse wrong")
+	}
+	if !g.Equal(r.Reverse()) {
+		t.Fatal("double reverse should restore the graph")
+	}
+}
+
+func TestLineDigraphOfCompleteK3(t *testing.T) {
+	// L(K3) has 6 vertices (arcs of K3) and each arc (u,v) has out-degree
+	// = outdeg(v) = 2, so 12 arcs. It is KG(2,2), diameter 2.
+	l := LineDigraph(Complete(3))
+	if l.N() != 6 || l.M() != 12 {
+		t.Fatalf("L(K3): n=%d m=%d, want 6, 12", l.N(), l.M())
+	}
+	if !l.IsRegular(2) {
+		t.Fatal("L(K3) should be 2-regular")
+	}
+	if l.Diameter() != 2 {
+		t.Fatalf("diameter L(K3) = %d, want 2", l.Diameter())
+	}
+}
+
+func TestLineDigraphPower(t *testing.T) {
+	g := Complete(3)
+	if !LineDigraphPower(g, 0).Equal(g) {
+		t.Fatal("L^0 should be identity")
+	}
+	l2 := LineDigraphPower(g, 2)
+	if l2.N() != 12 || l2.M() != 24 {
+		t.Fatalf("L^2(K3): n=%d m=%d, want 12, 24", l2.N(), l2.M())
+	}
+	if l2.Diameter() != 3 {
+		t.Fatalf("L^2(K3) diameter = %d, want 3 (KG(2,3))", l2.Diameter())
+	}
+}
+
+func TestLineDigraphPreservesLoops(t *testing.T) {
+	// A loop (u,u) in G gives the line digraph vertex a=(u,u) an arc to
+	// itself, so loop counts are preserved under L for loop-ful graphs.
+	g := CompleteWithLoops(3)
+	l := LineDigraph(g)
+	if l.LoopCount() != 3 {
+		t.Fatalf("L(K+3) loop count = %d, want 3", l.LoopCount())
+	}
+}
+
+func TestIsomorphicBasic(t *testing.T) {
+	if !Isomorphic(Cycle(5), Cycle(5)) {
+		t.Fatal("C5 ≅ C5")
+	}
+	if Isomorphic(Cycle(5), Cycle(6)) {
+		t.Fatal("C5 and C6 are not isomorphic")
+	}
+	if Isomorphic(Complete(4), CompleteWithLoops(4)) {
+		t.Fatal("K4 and K+4 differ")
+	}
+}
+
+func TestIsomorphicRelabel(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		n := 8
+		g := New(n)
+		for u := 0; u < n; u++ {
+			for v := 0; v < n; v++ {
+				if rng.Intn(3) == 0 {
+					g.AddArc(u, v)
+				}
+			}
+		}
+		perm := rng.Perm(n)
+		h := New(n)
+		for u := 0; u < n; u++ {
+			for _, v := range g.Out(u) {
+				h.AddArc(perm[u], perm[v])
+			}
+		}
+		if !Isomorphic(g, h) {
+			t.Fatalf("trial %d: relabeled graph not detected isomorphic", trial)
+		}
+	}
+}
+
+func TestIsomorphicNegativeSameDegrees(t *testing.T) {
+	// Two 2-regular digraphs on 6 vertices: C6 versus two disjoint C3s.
+	// Same in/out degree sequence, not isomorphic.
+	g := Cycle(6)
+	h := New(6)
+	for _, c := range [][]int{{0, 1, 2}, {3, 4, 5}} {
+		for i := range c {
+			h.AddArc(c[i], c[(i+1)%3])
+		}
+	}
+	if Isomorphic(g, h) {
+		t.Fatal("C6 vs 2xC3 wrongly isomorphic")
+	}
+}
+
+func TestEulerian(t *testing.T) {
+	if !Complete(3).IsEulerian() {
+		t.Fatal("K3 is Eulerian")
+	}
+	g := New(3)
+	g.AddArc(0, 1)
+	g.AddArc(1, 2)
+	if g.IsEulerian() {
+		t.Fatal("open path is not Eulerian")
+	}
+	if New(2).IsEulerian() {
+		t.Fatal("arcless graph is not Eulerian")
+	}
+}
+
+func TestEulerianCircuit(t *testing.T) {
+	for _, g := range []*Digraph{Complete(3), Complete(4), Cycle(5), CompleteWithLoops(3)} {
+		c := g.EulerianCircuit()
+		if c == nil {
+			t.Fatalf("no Eulerian circuit found on %v", g)
+		}
+		if !g.IsEulerianCircuit(c) {
+			t.Fatalf("invalid Eulerian circuit %v", c)
+		}
+	}
+}
+
+func TestEulerianCircuitNilWhenImpossible(t *testing.T) {
+	g := New(3)
+	g.AddArc(0, 1)
+	if g.EulerianCircuit() != nil {
+		t.Fatal("should not find circuit in non-Eulerian graph")
+	}
+}
+
+func TestHamiltonianCycle(t *testing.T) {
+	for _, g := range []*Digraph{Complete(4), Cycle(7)} {
+		c := g.HamiltonianCycle()
+		if c == nil {
+			t.Fatal("Hamiltonian cycle should exist")
+		}
+		if !g.IsHamiltonianCycle(c) {
+			t.Fatalf("invalid Hamiltonian cycle %v", c)
+		}
+	}
+}
+
+func TestHamiltonianCycleAbsent(t *testing.T) {
+	// Star-like digraph: 0 <-> i for all i; no Hamiltonian cycle for n >= 4
+	// because consecutive leaves are not adjacent.
+	g := New(4)
+	for i := 1; i < 4; i++ {
+		g.AddArc(0, i)
+		g.AddArc(i, 0)
+	}
+	if g.HamiltonianCycle() != nil {
+		t.Fatal("star digraph has no Hamiltonian cycle")
+	}
+}
+
+func TestHamiltonianSingleVertex(t *testing.T) {
+	g := New(1)
+	if g.HamiltonianCycle() != nil {
+		t.Fatal("loopless single vertex has no Hamiltonian cycle")
+	}
+	g.AddArc(0, 0)
+	if c := g.HamiltonianCycle(); c == nil || !g.IsHamiltonianCycle(c) {
+		t.Fatal("single loop vertex is Hamiltonian")
+	}
+}
+
+func TestAddRemoveLoops(t *testing.T) {
+	g := Complete(4)
+	gl := AddLoops(g)
+	if gl.LoopCount() != 4 || gl.M() != g.M()+4 {
+		t.Fatal("AddLoops wrong")
+	}
+	if !RemoveLoops(gl).Equal(g) {
+		t.Fatal("RemoveLoops(AddLoops(g)) != g")
+	}
+	// AddLoops is idempotent.
+	if !AddLoops(gl).Equal(gl) {
+		t.Fatal("AddLoops not idempotent")
+	}
+}
+
+func TestInducedSubgraph(t *testing.T) {
+	g := Complete(5)
+	keep := []bool{true, false, true, true, false}
+	h, remap := InducedSubgraph(g, keep)
+	if h.N() != 3 {
+		t.Fatalf("induced n = %d, want 3", h.N())
+	}
+	if h.M() != 6 { // K3
+		t.Fatalf("induced m = %d, want 6", h.M())
+	}
+	if remap[1] != -1 || remap[0] != 0 || remap[2] != 1 {
+		t.Fatalf("remap = %v", remap)
+	}
+}
+
+func TestIsRegularAndMaxOutDegree(t *testing.T) {
+	if !Complete(5).IsRegular(4) {
+		t.Fatal("K5 is 4-regular")
+	}
+	if Complete(5).IsRegular(3) {
+		t.Fatal("K5 is not 3-regular")
+	}
+	if Complete(5).MaxOutDegree() != 4 {
+		t.Fatal("max out degree K5 should be 4")
+	}
+	if New(3).MaxOutDegree() != 0 {
+		t.Fatal("empty graph max out degree should be 0")
+	}
+}
+
+// Property: for any random digraph, the line digraph has exactly M(G)
+// vertices and sum over arcs (u,v) of outdeg(v) arcs.
+func TestLineDigraphCountsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(6)
+		g := New(n)
+		for u := 0; u < n; u++ {
+			for v := 0; v < n; v++ {
+				if rng.Intn(2) == 0 {
+					g.AddArc(u, v)
+				}
+			}
+		}
+		l := LineDigraph(g)
+		if l.N() != g.M() {
+			return false
+		}
+		wantArcs := 0
+		for _, a := range g.Arcs() {
+			wantArcs += g.OutDegree(a[1])
+		}
+		return l.M() == wantArcs
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: reversing twice restores the exact arc multiset.
+func TestReverseInvolutionProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(8)
+		g := New(n)
+		arcs := rng.Intn(3 * n)
+		for i := 0; i < arcs; i++ {
+			g.AddArc(rng.Intn(n), rng.Intn(n))
+		}
+		return g.Equal(g.Reverse().Reverse())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: BFS distances satisfy the triangle inequality along arcs:
+// dist[v] <= dist[u] + 1 for every arc (u,v) with u reachable.
+func TestBFSTriangleProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(8)
+		g := New(n)
+		for i := 0; i < 2*n; i++ {
+			g.AddArc(rng.Intn(n), rng.Intn(n))
+		}
+		d := g.BFS(0)
+		for _, a := range g.Arcs() {
+			u, v := a[0], a[1]
+			if d[u] != Unreachable && (d[v] == Unreachable || d[v] > d[u]+1) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStringOutput(t *testing.T) {
+	g := New(2)
+	g.AddArc(0, 1)
+	s := g.String()
+	if s == "" {
+		t.Fatal("String should be non-empty")
+	}
+}

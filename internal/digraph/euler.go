@@ -1,0 +1,181 @@
+package digraph
+
+// IsEulerian reports whether the digraph admits a directed Eulerian circuit:
+// it is connected (ignoring isolated vertices) and every vertex has equal
+// in- and out-degree. The paper notes (§2.5) that Kautz graphs are Eulerian.
+func (g *Digraph) IsEulerian() bool {
+	if g.m == 0 {
+		return false
+	}
+	for u := 0; u < g.n; u++ {
+		if len(g.out[u]) != len(g.in[u]) {
+			return false
+		}
+	}
+	// Strong connectivity restricted to non-isolated vertices.
+	start := -1
+	for u := 0; u < g.n; u++ {
+		if len(g.out[u]) > 0 {
+			start = u
+			break
+		}
+	}
+	dist := g.BFS(start)
+	rdist := g.Reverse().BFS(start)
+	for u := 0; u < g.n; u++ {
+		if len(g.out[u]) == 0 && len(g.in[u]) == 0 {
+			continue
+		}
+		if dist[u] == Unreachable || rdist[u] == Unreachable {
+			return false
+		}
+	}
+	return true
+}
+
+// EulerianCircuit returns a directed Eulerian circuit as a vertex sequence
+// whose first and last entries coincide and which traverses every arc
+// exactly once, or nil when none exists. Hierholzer's algorithm, O(n + m).
+func (g *Digraph) EulerianCircuit() []int {
+	if !g.IsEulerian() {
+		return nil
+	}
+	// next[u] is a cursor into g.out[u] so each arc is consumed once.
+	next := make([]int, g.n)
+	start := 0
+	for len(g.out[start]) == 0 {
+		start++
+	}
+	var circuit []int
+	stack := []int{start}
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		if next[u] < len(g.out[u]) {
+			v := g.out[u][next[u]]
+			next[u]++
+			stack = append(stack, v)
+		} else {
+			circuit = append(circuit, u)
+			stack = stack[:len(stack)-1]
+		}
+	}
+	if len(circuit) != g.m+1 {
+		return nil
+	}
+	// Hierholzer emits the circuit in reverse; for a circuit either order is
+	// valid, but reverse for readability (start vertex first in trail order).
+	for i, j := 0, len(circuit)-1; i < j; i, j = i+1, j-1 {
+		circuit[i], circuit[j] = circuit[j], circuit[i]
+	}
+	return circuit
+}
+
+// HamiltonianCycle returns a directed Hamiltonian cycle as a vertex sequence
+// of length n+1 (first == last), or nil if none is found. Exact backtracking
+// with reachability pruning; intended for paper-scale graphs (the paper
+// claims Kautz graphs are Hamiltonian, which we verify for small d, k).
+func (g *Digraph) HamiltonianCycle() []int {
+	if g.n == 0 {
+		return nil
+	}
+	if g.n == 1 {
+		if g.HasLoop(0) {
+			return []int{0, 0}
+		}
+		return nil
+	}
+	if !g.IsStronglyConnected() {
+		return nil
+	}
+	visited := make([]bool, g.n)
+	path := make([]int, 0, g.n+1)
+	path = append(path, 0)
+	visited[0] = true
+	if res := g.hamSearch(0, 1, visited, path); res != nil {
+		return res
+	}
+	return nil
+}
+
+func (g *Digraph) hamSearch(u, count int, visited []bool, path []int) []int {
+	if count == g.n {
+		if g.HasArc(u, path[0]) {
+			return append(append([]int(nil), path...), path[0])
+		}
+		return nil
+	}
+	for _, v := range g.out[u] {
+		if visited[v] {
+			continue
+		}
+		visited[v] = true
+		path = append(path, v)
+		if res := g.hamSearch(v, count+1, visited, path); res != nil {
+			return res
+		}
+		path = path[:len(path)-1]
+		visited[v] = false
+	}
+	return nil
+}
+
+// IsHamiltonianCycle verifies that cycle is a directed Hamiltonian cycle of
+// g: length n+1, first == last, every vertex exactly once, consecutive
+// vertices joined by arcs.
+func (g *Digraph) IsHamiltonianCycle(cycle []int) bool {
+	if len(cycle) != g.n+1 || g.n == 0 {
+		return false
+	}
+	if cycle[0] != cycle[len(cycle)-1] {
+		return false
+	}
+	seen := make([]bool, g.n)
+	for _, v := range cycle[:g.n] {
+		if v < 0 || v >= g.n || seen[v] {
+			return false
+		}
+		seen[v] = true
+	}
+	for i := 0; i < g.n; i++ {
+		if !g.HasArc(cycle[i], cycle[i+1]) {
+			return false
+		}
+	}
+	return true
+}
+
+// IsEulerianCircuit verifies that trail traverses every arc of g exactly
+// once and returns to its start.
+func (g *Digraph) IsEulerianCircuit(trail []int) bool {
+	if len(trail) != g.m+1 || g.m == 0 {
+		return false
+	}
+	if trail[0] != trail[len(trail)-1] {
+		return false
+	}
+	used := make(map[[2]int]int)
+	for i := 0; i+1 < len(trail); i++ {
+		used[[2]int{trail[i], trail[i+1]}]++
+	}
+	for u := 0; u < g.n; u++ {
+		for _, v := range g.out[u] {
+			_ = v
+		}
+	}
+	// Compare against arc multiset.
+	want := make(map[[2]int]int)
+	for u := 0; u < g.n; u++ {
+		for _, v := range g.out[u] {
+			want[[2]int{u, v}]++
+		}
+	}
+	if len(used) != len(want) {
+		return false
+	}
+	for a, c := range want {
+		if used[a] != c {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,161 @@
+package digraph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMaxDisjointPathsComplete(t *testing.T) {
+	// K5: between any two vertices, 1 direct path + 3 through the others.
+	g := Complete(5)
+	paths := g.MaxDisjointPaths(0, 4)
+	if len(paths) != 4 {
+		t.Fatalf("K5 disjoint paths = %d, want 4", len(paths))
+	}
+	if !g.InternallyDisjoint(paths) {
+		t.Fatalf("paths not disjoint: %v", paths)
+	}
+	for _, p := range paths {
+		if p[0] != 0 || p[len(p)-1] != 4 {
+			t.Fatalf("bad endpoints: %v", p)
+		}
+	}
+}
+
+func TestMaxDisjointPathsCycle(t *testing.T) {
+	g := Cycle(6)
+	paths := g.MaxDisjointPaths(0, 3)
+	if len(paths) != 1 {
+		t.Fatalf("cycle disjoint paths = %d, want 1", len(paths))
+	}
+	if !g.InternallyDisjoint(paths) {
+		t.Fatal("invalid path")
+	}
+}
+
+func TestMaxDisjointPathsNoPath(t *testing.T) {
+	g := New(3)
+	g.AddArc(0, 1)
+	if paths := g.MaxDisjointPaths(1, 0); len(paths) != 0 {
+		t.Fatalf("no reverse path should exist, got %v", paths)
+	}
+	if g.MaxDisjointPaths(0, 0) != nil {
+		t.Fatal("s == t should give nil")
+	}
+}
+
+func TestMaxDisjointPathsParallelArcs(t *testing.T) {
+	g := New(2)
+	g.AddArc(0, 1)
+	g.AddArc(0, 1)
+	paths := g.MaxDisjointPaths(0, 1)
+	if len(paths) != 2 {
+		t.Fatalf("parallel direct arcs should give 2 paths, got %d", len(paths))
+	}
+}
+
+func TestVertexConnectivityBasics(t *testing.T) {
+	if c := Cycle(5).VertexConnectivity(); c != 1 {
+		t.Fatalf("C5 connectivity = %d, want 1", c)
+	}
+	if c := Complete(4).VertexConnectivity(); c != 3 {
+		t.Fatalf("K4 connectivity = %d, want 3", c)
+	}
+	// Disconnected.
+	g := New(3)
+	g.AddArc(0, 1)
+	if g.VertexConnectivity() != 0 {
+		t.Fatal("disconnected graph has connectivity 0")
+	}
+	if New(1).VertexConnectivity() != 0 {
+		t.Fatal("single vertex has connectivity 0")
+	}
+}
+
+func TestVertexConnectivityCutVertex(t *testing.T) {
+	// Two triangles sharing vertex 2: connectivity 1.
+	g := New(5)
+	for _, tri := range [][]int{{0, 1, 2}, {2, 3, 4}} {
+		for i := range tri {
+			g.AddArc(tri[i], tri[(i+1)%3])
+			g.AddArc(tri[(i+1)%3], tri[i])
+		}
+	}
+	if c := g.VertexConnectivityExact(); c != 1 {
+		t.Fatalf("shared-vertex graph connectivity = %d, want 1", c)
+	}
+}
+
+func TestLineDigraphConnectivity(t *testing.T) {
+	// L(K3) = KG(2,2) is 2-connected (Kautz graphs are d-connected).
+	l := LineDigraph(Complete(3))
+	if c := l.VertexConnectivityExact(); c != 2 {
+		t.Fatalf("KG(2,2) connectivity = %d, want 2", c)
+	}
+	// L²(K3) = KG(2,3) likewise.
+	l2 := LineDigraphPower(Complete(3), 2)
+	if c := l2.VertexConnectivityExact(); c != 2 {
+		t.Fatalf("KG(2,3) connectivity = %d, want 2", c)
+	}
+	// L(K4) = KG(3,2) is 3-connected.
+	l3 := LineDigraph(Complete(4))
+	if c := l3.VertexConnectivityExact(); c != 3 {
+		t.Fatalf("KG(3,2) connectivity = %d, want 3", c)
+	}
+}
+
+// Property: the number of internally disjoint paths between non-adjacent
+// vertices never exceeds min(outdeg(s), indeg(t)), and the returned paths
+// are always valid and disjoint.
+func TestDisjointPathsBoundProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(5)
+		g := New(n)
+		for i := 0; i < 3*n; i++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u != v {
+				g.AddArc(u, v)
+			}
+		}
+		s, t0 := 0, n-1
+		if g.HasArc(s, t0) {
+			return true // bound only meaningful for non-adjacent pairs
+		}
+		paths := g.MaxDisjointPaths(s, t0)
+		if !g.InternallyDisjoint(paths) && len(paths) > 0 {
+			return false
+		}
+		bound := g.OutDegree(s)
+		if g.InDegree(t0) < bound {
+			bound = g.InDegree(t0)
+		}
+		return len(paths) <= bound
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: path count from MaxDisjointPaths is symmetric under graph
+// reversal: paths(s,t) in g == paths(t,s) in reverse(g).
+func TestDisjointPathsReversalProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(4)
+		g := New(n)
+		for i := 0; i < 3*n; i++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u != v {
+				g.AddArc(u, v)
+			}
+		}
+		a := len(g.MaxDisjointPaths(0, n-1))
+		b := len(g.Reverse().MaxDisjointPaths(n-1, 0))
+		return a == b
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,92 @@
+package digraph
+
+// Complete returns the complete digraph K_n without loops: an arc u -> v for
+// every ordered pair u != v. KG(d,1) = K_{d+1} is the base of the Kautz line
+// digraph iteration (Fig. 6 of the paper).
+func Complete(n int) *Digraph {
+	g := New(n)
+	for u := 0; u < n; u++ {
+		for v := 0; v < n; v++ {
+			if u != v {
+				g.AddArc(u, v)
+			}
+		}
+	}
+	return g
+}
+
+// CompleteWithLoops returns K⁺_n, the complete digraph with loops: n nodes
+// and n² arcs. POPS(t,g) is modeled as the stack-graph ς(t, K⁺_g) (Fig. 5).
+func CompleteWithLoops(n int) *Digraph {
+	g := New(n)
+	for u := 0; u < n; u++ {
+		for v := 0; v < n; v++ {
+			g.AddArc(u, v)
+		}
+	}
+	return g
+}
+
+// Cycle returns the directed cycle C_n (n >= 1; C_1 is a single loop).
+func Cycle(n int) *Digraph {
+	g := New(n)
+	for u := 0; u < n; u++ {
+		g.AddArc(u, (u+1)%n)
+	}
+	return g
+}
+
+// AddLoops returns a copy of g with one loop added at every vertex that does
+// not already carry one. KG⁺(d,k) — the Kautz graph with loops underlying
+// the stack-Kautz network — is AddLoops(KG(d,k)).
+func AddLoops(g *Digraph) *Digraph {
+	h := g.Clone()
+	for u := 0; u < h.n; u++ {
+		if !h.HasLoop(u) {
+			h.AddArc(u, u)
+		}
+	}
+	return h
+}
+
+// RemoveLoops returns a copy of g with all loops removed.
+func RemoveLoops(g *Digraph) *Digraph {
+	h := New(g.n)
+	for u := 0; u < g.n; u++ {
+		for _, v := range g.out[u] {
+			if u != v {
+				h.AddArc(u, v)
+			}
+		}
+	}
+	return h
+}
+
+// InducedSubgraph returns the subgraph induced by keeping only the vertices
+// for which keep[v] is true, along with a mapping old vertex -> new vertex
+// (or -1 for dropped vertices). Used for fault-injection experiments where
+// faulty nodes are removed from the topology.
+func InducedSubgraph(g *Digraph, keep []bool) (*Digraph, []int) {
+	remap := make([]int, g.n)
+	cnt := 0
+	for v := 0; v < g.n; v++ {
+		if keep[v] {
+			remap[v] = cnt
+			cnt++
+		} else {
+			remap[v] = -1
+		}
+	}
+	h := New(cnt)
+	for u := 0; u < g.n; u++ {
+		if remap[u] < 0 {
+			continue
+		}
+		for _, v := range g.out[u] {
+			if remap[v] >= 0 {
+				h.AddArc(remap[u], remap[v])
+			}
+		}
+	}
+	return h, remap
+}

@@ -1,0 +1,179 @@
+package digraph
+
+import "sort"
+
+// Isomorphic reports whether g and h are isomorphic directed multigraphs.
+// It uses exact backtracking over vertex assignments, pruned by an
+// invariant-based partition refinement (in/out-degree, loop multiplicity,
+// and iterated neighborhood signatures — a 1-dimensional Weisfeiler-Leman
+// coloring). This is exponential in the worst case but the refinement makes
+// it fast on the vertex-transitive-ish graphs in this reproduction (Kautz,
+// Imase-Itoh, de Bruijn) at paper scales.
+func Isomorphic(g, h *Digraph) bool {
+	return FindIsomorphism(g, h) != nil
+}
+
+// FindIsomorphism returns a vertex mapping m with m[u] = image of u such
+// that g relabeled by m equals h (arc multisets coincide), or nil when the
+// graphs are not isomorphic. The empty graph maps to an empty (non-nil)
+// mapping.
+func FindIsomorphism(g, h *Digraph) []int {
+	if g.n != h.n || g.m != h.m {
+		return nil
+	}
+	if g.n == 0 {
+		return []int{}
+	}
+	cg := refine(g)
+	ch := refine(h)
+	if !sameColorHistogram(cg, ch) {
+		return nil
+	}
+	// Order g's vertices by ascending color-class size for early pruning.
+	order := make([]int, g.n)
+	for i := range order {
+		order[i] = i
+	}
+	classSize := map[uint64]int{}
+	for _, c := range cg {
+		classSize[c]++
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ca, cb := classSize[cg[order[a]]], classSize[cg[order[b]]]
+		if ca != cb {
+			return ca < cb
+		}
+		return order[a] < order[b]
+	})
+	mapping := make([]int, g.n)
+	used := make([]bool, h.n)
+	for i := range mapping {
+		mapping[i] = -1
+	}
+	if isoSearch(g, h, cg, ch, order, 0, mapping, used) {
+		return mapping
+	}
+	return nil
+}
+
+func isoSearch(g, h *Digraph, cg, ch []uint64, order []int, depth int, mapping []int, used []bool) bool {
+	if depth == len(order) {
+		return true
+	}
+	u := order[depth]
+	for v := 0; v < h.n; v++ {
+		if used[v] || cg[u] != ch[v] {
+			continue
+		}
+		if !consistent(g, h, mapping, u, v) {
+			continue
+		}
+		mapping[u] = v
+		used[v] = true
+		if isoSearch(g, h, cg, ch, order, depth+1, mapping, used) {
+			return true
+		}
+		mapping[u] = -1
+		used[v] = false
+	}
+	return false
+}
+
+// consistent checks that mapping u -> v preserves arc multiplicities with
+// every previously mapped vertex (including loops at u itself).
+func consistent(g, h *Digraph, mapping []int, u, v int) bool {
+	if g.ArcMultiplicity(u, u) != h.ArcMultiplicity(v, v) {
+		return false
+	}
+	for w, x := range mapping {
+		if x < 0 || w == u {
+			continue
+		}
+		if g.ArcMultiplicity(u, w) != h.ArcMultiplicity(v, x) {
+			return false
+		}
+		if g.ArcMultiplicity(w, u) != h.ArcMultiplicity(x, v) {
+			return false
+		}
+	}
+	return true
+}
+
+// refine computes a color per vertex via iterated neighborhood hashing.
+// Vertices with different colors cannot correspond under any isomorphism.
+func refine(g *Digraph) []uint64 {
+	col := make([]uint64, g.n)
+	for u := 0; u < g.n; u++ {
+		col[u] = hash3(uint64(len(g.out[u])), uint64(len(g.in[u])), uint64(g.ArcMultiplicity(u, u)))
+	}
+	// Iterate to a fixed point in the number of color classes, capped at n
+	// rounds (the partition can refine at most n-1 times).
+	prevClasses := countClasses(col)
+	for round := 0; round < g.n; round++ {
+		next := make([]uint64, g.n)
+		for u := 0; u < g.n; u++ {
+			outSig := neighborSignature(col, g.out[u])
+			inSig := neighborSignature(col, g.in[u])
+			next[u] = hash3(col[u], outSig, inSig)
+		}
+		col = next
+		c := countClasses(col)
+		if c == prevClasses {
+			break
+		}
+		prevClasses = c
+	}
+	return col
+}
+
+func neighborSignature(col []uint64, nbrs []int) uint64 {
+	vals := make([]uint64, len(nbrs))
+	for i, v := range nbrs {
+		vals[i] = col[v]
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	var sig uint64 = 1469598103934665603
+	for _, v := range vals {
+		sig = hash3(sig, v, 0x9e3779b97f4a7c15)
+	}
+	return sig
+}
+
+func hash3(a, b, c uint64) uint64 {
+	x := a*0x9e3779b97f4a7c15 ^ b
+	x ^= x >> 32
+	x *= 0xbf58476d1ce4e5b9
+	x ^= c * 0x94d049bb133111eb
+	x ^= x >> 29
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 32
+	return x
+}
+
+func countClasses(col []uint64) int {
+	seen := make(map[uint64]struct{}, len(col))
+	for _, c := range col {
+		seen[c] = struct{}{}
+	}
+	return len(seen)
+}
+
+func sameColorHistogram(a, b []uint64) bool {
+	ha := map[uint64]int{}
+	hb := map[uint64]int{}
+	for _, c := range a {
+		ha[c]++
+	}
+	for _, c := range b {
+		hb[c]++
+	}
+	if len(ha) != len(hb) {
+		return false
+	}
+	for c, n := range ha {
+		if hb[c] != n {
+			return false
+		}
+	}
+	return true
+}

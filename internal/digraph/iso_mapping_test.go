@@ -1,0 +1,70 @@
+package digraph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// FindIsomorphism must return a mapping that literally transports the arc
+// multiset of g onto h — validated by relabeling and comparing.
+func TestFindIsomorphismMappingIsCorrect(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 15; trial++ {
+		n := 6 + rng.Intn(4)
+		g := New(n)
+		for i := 0; i < 3*n; i++ {
+			g.AddArc(rng.Intn(n), rng.Intn(n))
+		}
+		perm := rng.Perm(n)
+		h := New(n)
+		for u := 0; u < n; u++ {
+			for _, v := range g.Out(u) {
+				h.AddArc(perm[u], perm[v])
+			}
+		}
+		m := FindIsomorphism(g, h)
+		if m == nil {
+			t.Fatalf("trial %d: isomorphism must exist", trial)
+		}
+		relabeled := New(n)
+		for u := 0; u < n; u++ {
+			for _, v := range g.Out(u) {
+				relabeled.AddArc(m[u], m[v])
+			}
+		}
+		if !relabeled.Equal(h) {
+			t.Fatalf("trial %d: mapping does not transport g onto h", trial)
+		}
+	}
+}
+
+func TestFindIsomorphismEmptyAndMismatch(t *testing.T) {
+	if m := FindIsomorphism(New(0), New(0)); m == nil || len(m) != 0 {
+		t.Fatal("empty graphs should map via the empty mapping")
+	}
+	if FindIsomorphism(New(2), New(3)) != nil {
+		t.Fatal("different orders cannot be isomorphic")
+	}
+	a := New(2)
+	a.AddArc(0, 1)
+	if FindIsomorphism(a, New(2)) != nil {
+		t.Fatal("different sizes cannot be isomorphic")
+	}
+}
+
+// The refinement must not produce false negatives on regular graphs where
+// all degrees coincide: KG-style line digraphs against relabelings.
+func TestFindIsomorphismOnRegularGraphs(t *testing.T) {
+	g := LineDigraphPower(Complete(3), 2) // KG(2,3), 2-regular
+	rng := rand.New(rand.NewSource(8))
+	perm := rng.Perm(g.N())
+	h := New(g.N())
+	for u := 0; u < g.N(); u++ {
+		for _, v := range g.Out(u) {
+			h.AddArc(perm[u], perm[v])
+		}
+	}
+	if FindIsomorphism(g, h) == nil {
+		t.Fatal("relabeled KG(2,3) must be found isomorphic")
+	}
+}

@@ -1,0 +1,42 @@
+package digraph
+
+// LineDigraph returns the line digraph L(G): its vertices are the arcs of G
+// and there is an arc from a = (u,v) to b = (v,w) whenever the head of a is
+// the tail of b. Arc vertices are numbered in the order reported by Arcs().
+//
+// The Kautz graph satisfies KG(d,k) = L^{k-1}(K_{d+1}) (Fiol, Yebra, Alegre
+// 1984), which is Figure 6 of the paper; LineDigraphPowers verifies it.
+func LineDigraph(g *Digraph) *Digraph {
+	arcs := g.Arcs()
+	l := New(len(arcs))
+	// Index arcs by tail so the quadratic pairing only scans compatible arcs.
+	byTail := make([][]int, g.N())
+	for idx, a := range arcs {
+		byTail[a[0]] = append(byTail[a[0]], idx)
+	}
+	for idx, a := range arcs {
+		head := a[1]
+		for _, jdx := range byTail[head] {
+			l.AddArc(idx, jdx)
+		}
+	}
+	return l
+}
+
+// LineDigraphPower returns L^k(G), the k-th line digraph iterate of G.
+// L^0(G) is a copy of G.
+func LineDigraphPower(g *Digraph, k int) *Digraph {
+	h := g.Clone()
+	for i := 0; i < k; i++ {
+		h = LineDigraph(h)
+	}
+	return h
+}
+
+// LineDigraphArcLabels returns, for each vertex of L(G), the (tail, head)
+// pair of the G-arc it represents, in the same numbering used by
+// LineDigraph. This is the labeling device behind Kautz words: iterating it
+// turns vertices of L^{k-1}(K_{d+1}) into words of length k.
+func LineDigraphArcLabels(g *Digraph) [][2]int {
+	return g.Arcs()
+}

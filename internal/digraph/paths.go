@@ -1,0 +1,178 @@
+package digraph
+
+// Unreachable is the distance value reported for vertex pairs with no
+// directed path.
+const Unreachable = -1
+
+// BFS returns the vector of directed distances from src to every vertex,
+// with Unreachable for vertices not reachable from src. Loops and parallel
+// arcs are harmless (distance uses arc existence only).
+func (g *Digraph) BFS(src int) []int {
+	g.check(src)
+	dist := make([]int, g.n)
+	for i := range dist {
+		dist[i] = Unreachable
+	}
+	dist[src] = 0
+	queue := make([]int, 0, g.n)
+	queue = append(queue, src)
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range g.out[u] {
+			if dist[v] == Unreachable {
+				dist[v] = dist[u] + 1
+				queue = append(queue, v)
+			}
+		}
+	}
+	return dist
+}
+
+// Distance returns the length of a shortest directed path from u to v, or
+// Unreachable when no such path exists.
+func (g *Digraph) Distance(u, v int) int {
+	return g.BFS(u)[v]
+}
+
+// ShortestPath returns one shortest directed path from u to v as a vertex
+// sequence including both endpoints, or nil when v is unreachable from u.
+func (g *Digraph) ShortestPath(u, v int) []int {
+	g.check(u)
+	g.check(v)
+	prev := make([]int, g.n)
+	dist := make([]int, g.n)
+	for i := range dist {
+		dist[i] = Unreachable
+		prev[i] = -1
+	}
+	dist[u] = 0
+	queue := []int{u}
+	for len(queue) > 0 && dist[v] == Unreachable {
+		x := queue[0]
+		queue = queue[1:]
+		for _, y := range g.out[x] {
+			if dist[y] == Unreachable {
+				dist[y] = dist[x] + 1
+				prev[y] = x
+				queue = append(queue, y)
+			}
+		}
+	}
+	if dist[v] == Unreachable {
+		return nil
+	}
+	path := []int{v}
+	for x := v; x != u; x = prev[x] {
+		path = append(path, prev[x])
+	}
+	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+		path[i], path[j] = path[j], path[i]
+	}
+	return path
+}
+
+// Eccentricity returns the maximum distance from u to any vertex, or
+// Unreachable if some vertex is not reachable from u.
+func (g *Digraph) Eccentricity(u int) int {
+	ecc := 0
+	for _, d := range g.BFS(u) {
+		if d == Unreachable {
+			return Unreachable
+		}
+		if d > ecc {
+			ecc = d
+		}
+	}
+	return ecc
+}
+
+// Diameter returns the directed diameter of the graph, or Unreachable if the
+// graph is not strongly connected. The empty graph has diameter 0.
+func (g *Digraph) Diameter() int {
+	diam := 0
+	for u := 0; u < g.n; u++ {
+		e := g.Eccentricity(u)
+		if e == Unreachable {
+			return Unreachable
+		}
+		if e > diam {
+			diam = e
+		}
+	}
+	return diam
+}
+
+// AverageDistance returns the mean directed distance over all ordered vertex
+// pairs (u, v) with u != v, or Unreachable (as a float) if any pair is
+// unreachable. A single-vertex graph has average distance 0.
+func (g *Digraph) AverageDistance() float64 {
+	if g.n <= 1 {
+		return 0
+	}
+	total := 0
+	for u := 0; u < g.n; u++ {
+		for v, d := range g.BFS(u) {
+			if v == u {
+				continue
+			}
+			if d == Unreachable {
+				return Unreachable
+			}
+			total += d
+		}
+	}
+	return float64(total) / float64(g.n*(g.n-1))
+}
+
+// IsStronglyConnected reports whether every vertex can reach every other
+// vertex. Implemented as two BFS sweeps (forward from 0 and forward from 0
+// in the reverse graph), which is exact and fast for the graph sizes used in
+// the reproduction.
+func (g *Digraph) IsStronglyConnected() bool {
+	if g.n == 0 {
+		return true
+	}
+	for _, d := range g.BFS(0) {
+		if d == Unreachable {
+			return false
+		}
+	}
+	rev := g.Reverse()
+	for _, d := range rev.BFS(0) {
+		if d == Unreachable {
+			return false
+		}
+	}
+	return true
+}
+
+// Reverse returns the digraph with every arc reversed.
+func (g *Digraph) Reverse() *Digraph {
+	h := New(g.n)
+	for u := 0; u < g.n; u++ {
+		for _, v := range g.out[u] {
+			h.AddArc(v, u)
+		}
+	}
+	return h
+}
+
+// DistanceHistogram returns hist where hist[d] is the number of ordered
+// pairs (u,v), u != v, at distance exactly d, indexed up to the diameter.
+// It returns nil if the graph is not strongly connected.
+func (g *Digraph) DistanceHistogram() []int {
+	diam := g.Diameter()
+	if diam == Unreachable {
+		return nil
+	}
+	hist := make([]int, diam+1)
+	for u := 0; u < g.n; u++ {
+		for v, d := range g.BFS(u) {
+			if v != u {
+				hist[d]++
+			}
+		}
+	}
+	return hist
+}

@@ -1,0 +1,85 @@
+package embed
+
+import (
+	"fmt"
+
+	"otisnet/internal/digraph"
+	"otisnet/internal/hypergraph"
+	"otisnet/internal/pops"
+	"otisnet/internal/stackkautz"
+)
+
+// RingIntoPOPS embeds the N-vertex ring into POPS(t,g) with load 1 and
+// dilation 1 (POPS is single-hop, so every placement has dilation 1; the
+// group-major order additionally keeps most ring arcs on loop couplers,
+// minimizing congestion on the inter-group couplers).
+func RingIntoPOPS(p *pops.Network) *Embedding {
+	ring := UndirectedRing(p.N())
+	place := make([]int, p.N())
+	for i := range place {
+		place[i] = i // group-major: node i = (group i/t, member i%t)
+	}
+	return &Embedding{Guest: ring, Host: p.StackGraph(), Place: place}
+}
+
+// RingIntoStackKautz embeds the N-vertex ring into SK(s,d,k) with load 1
+// and dilation 1, using a Hamiltonian cycle of the Kautz graph (§2.5: the
+// Kautz graph is Hamiltonian): groups are visited in Hamiltonian order;
+// within a group, consecutive ring vertices use the loop coupler (1 hop)
+// and the hand-off to the next group uses the Hamiltonian arc (1 hop).
+// Returns an error if the Hamiltonian cycle search fails (it cannot for
+// valid Kautz graphs; the search is exponential, so keep paper-scale G).
+//
+// Caveat: the ring is directed around the cycle; the reverse ring arcs are
+// dilated by up to k (Kautz graphs are not symmetric), which Measure
+// reports when given an undirected ring. DirectedRingIntoStackKautz embeds
+// the one-directional ring with dilation exactly 1.
+func DirectedRingIntoStackKautz(n *stackkautz.Network) (*Embedding, error) {
+	kg := n.Kautz().Digraph()
+	cyc := kg.HamiltonianCycle()
+	if cyc == nil {
+		return nil, fmt.Errorf("embed: no Hamiltonian cycle found in KG(%d,%d)",
+			n.D(), n.K())
+	}
+	ring := directedRing(n.N())
+	place := make([]int, 0, n.N())
+	for _, g := range cyc[:len(cyc)-1] {
+		for m := 0; m < n.S(); m++ {
+			place = append(place, n.StackGraph().NodeID(hypergraph.StackNode{Group: g, Member: m}))
+		}
+	}
+	e := &Embedding{Guest: ring, Host: n.StackGraph(), Place: place}
+	if err := e.Validate(); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// directedRing returns the one-directional N-vertex ring.
+func directedRing(n int) *digraph.Digraph {
+	g := digraph.New(n)
+	for i := 0; i < n; i++ {
+		if n > 1 || i != (i+1)%n {
+			g.AddArc(i, (i+1)%n)
+		}
+	}
+	return g
+}
+
+// HypercubeIntoPOPS embeds the dim-cube into POPS(t,g) (requires
+// 2^dim == t·g) with load 1 and dilation 1.
+func HypercubeIntoPOPS(p *pops.Network, dim int) (*Embedding, error) {
+	if 1<<dim != p.N() {
+		return nil, fmt.Errorf("embed: 2^%d != %d processors", dim, p.N())
+	}
+	return Identity(Hypercube(dim), p.StackGraph())
+}
+
+// MeshIntoPOPS embeds the rows×cols mesh into POPS(t,g) (requires
+// rows·cols == t·g) with load 1 and dilation 1.
+func MeshIntoPOPS(p *pops.Network, rows, cols int) (*Embedding, error) {
+	if rows*cols != p.N() {
+		return nil, fmt.Errorf("embed: %dx%d mesh != %d processors", rows, cols, p.N())
+	}
+	return Identity(Mesh(rows, cols), p.StackGraph())
+}

@@ -1,0 +1,167 @@
+// Package embed implements guest-graph embeddings into multi-OPS networks
+// through their stack-graph models — the technique of Berthomé and Ferreira
+// (reference [3] of the paper, "Improved embeddings in POPS networks
+// through stack-graph models"). An embedding maps guest vertices onto host
+// processors; its quality is measured by load (guest vertices per host
+// node), dilation (host hops per guest edge) and congestion (guest edges
+// per coupler). Constructions provided: rings into POPS and into
+// stack-Kautz (dilation 1, using the Hamiltonicity of the Kautz graph the
+// paper quotes in §2.5), hypercubes and 2-D meshes into POPS (dilation 1 —
+// POPS is single-hop), and generic embeddings with exact metric
+// computation.
+package embed
+
+import (
+	"fmt"
+
+	"otisnet/internal/digraph"
+	"otisnet/internal/hypergraph"
+)
+
+// Embedding maps guest vertices to host stack-graph nodes.
+type Embedding struct {
+	// Guest is the directed guest graph (use both arc directions for an
+	// undirected guest).
+	Guest *digraph.Digraph
+	// Host is the stack-graph model of the host network.
+	Host *hypergraph.StackGraph
+	// Place[v] is the host node of guest vertex v.
+	Place []int
+}
+
+// Metrics summarizes embedding quality.
+type Metrics struct {
+	// Load is the maximum number of guest vertices on one host node.
+	Load int
+	// Dilation is the maximum host-route hop count over guest arcs.
+	Dilation int
+	// Congestion is the maximum number of guest arcs routed through one
+	// coupler (hyperarc), with each arc using the stack-graph Route.
+	Congestion int
+	// Expansion is host nodes / guest vertices.
+	Expansion float64
+}
+
+// Validate checks the embedding is well-formed: every guest vertex is
+// placed on a valid host node and every guest arc is routable.
+func (e *Embedding) Validate() error {
+	if len(e.Place) != e.Guest.N() {
+		return fmt.Errorf("embed: %d placements for %d guest vertices",
+			len(e.Place), e.Guest.N())
+	}
+	for v, p := range e.Place {
+		if p < 0 || p >= e.Host.N() {
+			return fmt.Errorf("embed: guest %d placed on invalid host %d", v, p)
+		}
+	}
+	for _, a := range e.Guest.Arcs() {
+		if e.Place[a[0]] == e.Place[a[1]] {
+			continue // same host node: dilation 0
+		}
+		if r := e.Host.Route(e.Place[a[0]], e.Place[a[1]]); r == nil {
+			return fmt.Errorf("embed: guest arc %d->%d unroutable", a[0], a[1])
+		}
+	}
+	return nil
+}
+
+// Measure computes the embedding metrics, routing every guest arc with the
+// host's stack-graph router.
+func (e *Embedding) Measure() Metrics {
+	m := Metrics{}
+	load := make([]int, e.Host.N())
+	for _, p := range e.Place {
+		load[p]++
+		if load[p] > m.Load {
+			m.Load = load[p]
+		}
+	}
+	congestion := map[int]int{}
+	for _, a := range e.Guest.Arcs() {
+		src, dst := e.Place[a[0]], e.Place[a[1]]
+		if src == dst {
+			continue
+		}
+		route := e.Host.Route(src, dst)
+		hops := len(route) - 1
+		if hops > m.Dilation {
+			m.Dilation = hops
+		}
+		for i := 0; i+1 < len(route); i++ {
+			u := e.Host.Project(route[i])
+			v := e.Host.Project(route[i+1])
+			c := e.Host.HyperarcFor(u, v)
+			congestion[c]++
+			if congestion[c] > m.Congestion {
+				m.Congestion = congestion[c]
+			}
+		}
+	}
+	if e.Guest.N() > 0 {
+		m.Expansion = float64(e.Host.N()) / float64(e.Guest.N())
+	}
+	return m
+}
+
+// UndirectedRing returns the N-vertex ring with arcs in both directions.
+func UndirectedRing(n int) *digraph.Digraph {
+	g := digraph.New(n)
+	for i := 0; i < n; i++ {
+		j := (i + 1) % n
+		if j != i {
+			g.AddArc(i, j)
+			g.AddArc(j, i)
+		}
+	}
+	return g
+}
+
+// Hypercube returns the dim-dimensional hypercube (2^dim vertices) with
+// arcs in both directions.
+func Hypercube(dim int) *digraph.Digraph {
+	n := 1 << dim
+	g := digraph.New(n)
+	for u := 0; u < n; u++ {
+		for b := 0; b < dim; b++ {
+			g.AddArc(u, u^(1<<b))
+		}
+	}
+	return g
+}
+
+// Mesh returns the rows×cols 2-D mesh with arcs in both directions.
+func Mesh(rows, cols int) *digraph.Digraph {
+	g := digraph.New(rows * cols)
+	id := func(r, c int) int { return r*cols + c }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				g.AddArc(id(r, c), id(r, c+1))
+				g.AddArc(id(r, c+1), id(r, c))
+			}
+			if r+1 < rows {
+				g.AddArc(id(r, c), id(r+1, c))
+				g.AddArc(id(r+1, c), id(r, c))
+			}
+		}
+	}
+	return g
+}
+
+// Identity embeds a guest with exactly host-size vertices by the identity
+// placement.
+func Identity(guest *digraph.Digraph, host *hypergraph.StackGraph) (*Embedding, error) {
+	if guest.N() != host.N() {
+		return nil, fmt.Errorf("embed: guest has %d vertices, host %d nodes",
+			guest.N(), host.N())
+	}
+	place := make([]int, guest.N())
+	for i := range place {
+		place[i] = i
+	}
+	e := &Embedding{Guest: guest, Host: host, Place: place}
+	if err := e.Validate(); err != nil {
+		return nil, err
+	}
+	return e, nil
+}

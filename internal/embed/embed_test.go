@@ -1,0 +1,219 @@
+package embed
+
+import (
+	"testing"
+	"testing/quick"
+
+	"otisnet/internal/digraph"
+	"otisnet/internal/pops"
+	"otisnet/internal/stackkautz"
+)
+
+func TestGuestGenerators(t *testing.T) {
+	r := UndirectedRing(5)
+	if r.N() != 5 || r.M() != 10 {
+		t.Fatalf("ring: n=%d m=%d", r.N(), r.M())
+	}
+	h := Hypercube(3)
+	if h.N() != 8 || h.M() != 24 {
+		t.Fatalf("cube: n=%d m=%d", h.N(), h.M())
+	}
+	m := Mesh(2, 3)
+	if m.N() != 6 || m.M() != 14 { // 7 undirected edges
+		t.Fatalf("mesh: n=%d m=%d", m.N(), m.M())
+	}
+	// Degenerate ring.
+	if UndirectedRing(1).M() != 0 {
+		t.Fatal("1-ring should have no arcs")
+	}
+}
+
+func TestIdentityRequiresMatchingSizes(t *testing.T) {
+	p := pops.New(2, 2) // N = 4
+	if _, err := Identity(Hypercube(2), p.StackGraph()); err != nil {
+		t.Fatal(err) // 4 == 4: fine
+	}
+	if _, err := Identity(Hypercube(3), p.StackGraph()); err == nil {
+		t.Fatal("size mismatch must error")
+	}
+}
+
+func TestValidateCatchesBadPlacement(t *testing.T) {
+	p := pops.New(2, 2)
+	e := &Embedding{Guest: UndirectedRing(4), Host: p.StackGraph(), Place: []int{0, 1, 2, 99}}
+	if e.Validate() == nil {
+		t.Fatal("invalid host node must be caught")
+	}
+	e2 := &Embedding{Guest: UndirectedRing(4), Host: p.StackGraph(), Place: []int{0, 1}}
+	if e2.Validate() == nil {
+		t.Fatal("wrong placement length must be caught")
+	}
+}
+
+func TestRingIntoPOPSDilation1(t *testing.T) {
+	for _, pr := range []struct{ t, g int }{{4, 2}, {3, 3}, {2, 5}} {
+		p := pops.New(pr.t, pr.g)
+		e := RingIntoPOPS(p)
+		if err := e.Validate(); err != nil {
+			t.Fatalf("POPS(%d,%d): %v", pr.t, pr.g, err)
+		}
+		m := e.Measure()
+		if m.Load != 1 || m.Dilation != 1 {
+			t.Fatalf("POPS(%d,%d): load=%d dilation=%d, want 1,1", pr.t, pr.g, m.Load, m.Dilation)
+		}
+		if m.Expansion != 1 {
+			t.Fatal("ring fills the network exactly")
+		}
+	}
+}
+
+func TestDirectedRingIntoStackKautzDilation1(t *testing.T) {
+	// §2.5: Kautz graphs are Hamiltonian -> an N-node directed ring embeds
+	// into SK(s,d,k) with dilation 1.
+	for _, pr := range []struct{ s, d, k int }{{2, 2, 2}, {3, 2, 2}, {2, 3, 2}, {2, 2, 3}} {
+		n := stackkautz.New(pr.s, pr.d, pr.k)
+		e, err := DirectedRingIntoStackKautz(n)
+		if err != nil {
+			t.Fatalf("SK(%d,%d,%d): %v", pr.s, pr.d, pr.k, err)
+		}
+		m := e.Measure()
+		if m.Load != 1 || m.Dilation != 1 {
+			t.Fatalf("SK(%d,%d,%d): load=%d dilation=%d, want 1,1",
+				pr.s, pr.d, pr.k, m.Load, m.Dilation)
+		}
+	}
+}
+
+func TestUndirectedRingIntoSKDilationBounded(t *testing.T) {
+	// The reverse arcs of the ring dilate by at most the diameter k.
+	n := stackkautz.New(2, 2, 2)
+	fwd, err := DirectedRingIntoStackKautz(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	und := &Embedding{
+		Guest: UndirectedRing(n.N()),
+		Host:  n.StackGraph(),
+		Place: fwd.Place,
+	}
+	if err := und.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	m := und.Measure()
+	if m.Dilation > n.K()+1 {
+		t.Fatalf("undirected ring dilation %d exceeds k+1 = %d", m.Dilation, n.K()+1)
+	}
+}
+
+func TestHypercubeIntoPOPS(t *testing.T) {
+	p := pops.New(4, 4) // 16 = 2^4
+	e, err := HypercubeIntoPOPS(p, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := e.Measure()
+	if m.Load != 1 || m.Dilation != 1 {
+		t.Fatalf("load=%d dilation=%d, want 1,1", m.Load, m.Dilation)
+	}
+	if _, err := HypercubeIntoPOPS(p, 3); err == nil {
+		t.Fatal("wrong dimension must error")
+	}
+}
+
+func TestMeshIntoPOPS(t *testing.T) {
+	p := pops.New(3, 4) // 12 = 3x4
+	e, err := MeshIntoPOPS(p, 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := e.Measure()
+	if m.Load != 1 || m.Dilation != 1 {
+		t.Fatalf("load=%d dilation=%d", m.Load, m.Dilation)
+	}
+	if _, err := MeshIntoPOPS(p, 2, 5); err == nil {
+		t.Fatal("wrong shape must error")
+	}
+}
+
+func TestMeasureCongestionCounts(t *testing.T) {
+	// Two guest vertices on the same pair of POPS groups: both arcs route
+	// through the same coupler, congestion 2.
+	p := pops.New(2, 2)
+	guest := digraph.New(4)
+	guest.AddArc(0, 2)
+	guest.AddArc(1, 3)
+	e := &Embedding{Guest: guest, Host: p.StackGraph(),
+		Place: []int{p.NodeID(0, 0), p.NodeID(0, 1), p.NodeID(1, 0), p.NodeID(1, 1)}}
+	if err := e.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	m := e.Measure()
+	if m.Congestion != 2 {
+		t.Fatalf("congestion = %d, want 2", m.Congestion)
+	}
+}
+
+func TestMeasureLoadWithMultiplePerHost(t *testing.T) {
+	p := pops.New(2, 2)
+	guest := UndirectedRing(8) // 8 vertices on 4 hosts: load 2
+	place := make([]int, 8)
+	for i := range place {
+		place[i] = i % 4
+	}
+	e := &Embedding{Guest: guest, Host: p.StackGraph(), Place: place}
+	if err := e.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if m := e.Measure(); m.Load != 2 {
+		t.Fatalf("load = %d, want 2", m.Load)
+	}
+}
+
+// Property: any permutation placement into POPS has dilation exactly 1
+// (single-hop host) and load 1.
+func TestPOPSAnyPermutationDilation1Property(t *testing.T) {
+	p := pops.New(3, 3)
+	f := func(seed int64) bool {
+		perm := permFromSeed(seed, p.N())
+		e := &Embedding{Guest: UndirectedRing(p.N()), Host: p.StackGraph(), Place: perm}
+		if e.Validate() != nil {
+			return false
+		}
+		m := e.Measure()
+		return m.Load == 1 && m.Dilation == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func permFromSeed(seed int64, n int) []int {
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	state := uint64(seed)
+	for i := n - 1; i > 0; i-- {
+		state = state*6364136223846793005 + 1442695040888963407
+		j := int(state % uint64(i+1))
+		perm[i], perm[j] = perm[j], perm[i]
+	}
+	return perm
+}
+
+// Property: dilation of any valid embedding into a stack-Kautz host never
+// exceeds its diameter + 1 (route may add an intra-group loop hop).
+func TestSKDilationBoundProperty(t *testing.T) {
+	n := stackkautz.New(2, 2, 2)
+	f := func(seed int64) bool {
+		perm := permFromSeed(seed, n.N())
+		e := &Embedding{Guest: Hypercube(3), Host: n.StackGraph(), Place: perm[:8]}
+		if e.Validate() != nil {
+			return false
+		}
+		return e.Measure().Dilation <= n.K()+1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,101 @@
+// Package export renders the reproduction's data structures — digraphs,
+// stack-graph hypergraphs and optical netlists — in Graphviz DOT format,
+// so the paper's figures can be regenerated as actual drawings
+// (`dot -Tsvg`). Output is deterministic: vertices, hyperarcs and
+// components are emitted in index order.
+package export
+
+import (
+	"fmt"
+	"strings"
+
+	"otisnet/internal/digraph"
+	"otisnet/internal/hypergraph"
+	"otisnet/internal/optical"
+)
+
+// DigraphDOT renders a digraph. labels may be nil (vertex indices are
+// used) or provide one display label per vertex.
+func DigraphDOT(name string, g *digraph.Digraph, labels []string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", name)
+	b.WriteString("  rankdir=LR;\n")
+	for v := 0; v < g.N(); v++ {
+		label := fmt.Sprint(v)
+		if labels != nil {
+			label = labels[v]
+		}
+		fmt.Fprintf(&b, "  n%d [label=%q];\n", v, label)
+	}
+	for _, a := range g.Arcs() {
+		fmt.Fprintf(&b, "  n%d -> n%d;\n", a[0], a[1])
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// StackGraphDOT renders a stack-graph with one box node per coupler
+// (hyperarc): processors connect into the coupler box, the box connects to
+// the listeners — the visual convention of Figures 4 and 7.
+func StackGraphDOT(name string, sg *hypergraph.StackGraph) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", name)
+	b.WriteString("  rankdir=LR;\n")
+	for v := 0; v < sg.N(); v++ {
+		n := sg.Node(v)
+		fmt.Fprintf(&b, "  p%d [label=\"(%d,%d)\" shape=circle];\n", v, n.Group, n.Member)
+	}
+	for i := 0; i < sg.M(); i++ {
+		u, v := sg.BaseArcOf(i)
+		fmt.Fprintf(&b, "  c%d [label=\"OPS(%d,%d)\" shape=box];\n", i, u, v)
+		arc := sg.Hyperarc(i)
+		for _, t := range arc.Tail {
+			fmt.Fprintf(&b, "  p%d -> c%d;\n", t, i)
+		}
+		for _, h := range arc.Head {
+			fmt.Fprintf(&b, "  c%d -> p%d;\n", i, h)
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// NetlistDOT renders an optical netlist: one node per component (shaped by
+// kind), one edge per wire, labeled with the port pair — the component
+// diagrams of Figures 11 and 12.
+func NetlistDOT(name string, nl *optical.Netlist) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", name)
+	b.WriteString("  rankdir=LR;\n")
+	for i := 0; i < nl.Components(); i++ {
+		c := nl.Component(i)
+		shape := "box"
+		switch c.Kind {
+		case optical.TxArray:
+			shape = "invtriangle"
+		case optical.RxArray:
+			shape = "triangle"
+		case optical.OTISBlock:
+			shape = "box3d"
+		case optical.Mux:
+			shape = "trapezium"
+		case optical.Splitter:
+			shape = "invtrapezium"
+		case optical.Fiber:
+			shape = "ellipse"
+		}
+		fmt.Fprintf(&b, "  c%d [label=%q shape=%s];\n", i, c.Name, shape)
+	}
+	// Wires in deterministic component/port order.
+	for i := 0; i < nl.Components(); i++ {
+		c := nl.Component(i)
+		for p := 0; p < c.NOut; p++ {
+			if dst, ok := nl.WireFrom(i, p); ok {
+				fmt.Fprintf(&b, "  c%d -> c%d [label=\"%d:%d\"];\n",
+					i, dst.Comp, p, dst.Port)
+			}
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

@@ -1,0 +1,73 @@
+package export
+
+import (
+	"strings"
+	"testing"
+
+	"otisnet/internal/core"
+	"otisnet/internal/digraph"
+	"otisnet/internal/kautz"
+	"otisnet/internal/pops"
+)
+
+func TestDigraphDOT(t *testing.T) {
+	g := digraph.Cycle(3)
+	out := DigraphDOT("c3", g, nil)
+	if !strings.HasPrefix(out, "digraph \"c3\" {") {
+		t.Fatalf("bad header:\n%s", out)
+	}
+	for _, want := range []string{"n0 -> n1;", "n1 -> n2;", "n2 -> n0;"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Count(out, "->") != 3 {
+		t.Fatal("wrong edge count")
+	}
+}
+
+func TestDigraphDOTWithLabels(t *testing.T) {
+	kg := kautz.New(2, 2)
+	labels := make([]string, kg.N())
+	for i := range labels {
+		labels[i] = kg.LabelOf(i).String()
+	}
+	out := DigraphDOT("kg22", kg.Digraph(), labels)
+	if !strings.Contains(out, `label="01"`) {
+		t.Fatalf("missing word label:\n%s", out)
+	}
+}
+
+func TestStackGraphDOT(t *testing.T) {
+	p := pops.New(2, 2)
+	out := StackGraphDOT("pops22", p.StackGraph())
+	if strings.Count(out, "shape=box") != 4 {
+		t.Fatalf("want 4 coupler boxes:\n%s", out)
+	}
+	// Each degree-2 coupler has 2 in + 2 out edges: 16 edges total.
+	if strings.Count(out, "->") != 16 {
+		t.Fatalf("edge count = %d, want 16", strings.Count(out, "->"))
+	}
+	if !strings.Contains(out, `label="(0,0)"`) {
+		t.Fatal("missing processor label")
+	}
+}
+
+func TestNetlistDOT(t *testing.T) {
+	d := core.DesignPOPS(2, 2)
+	out := NetlistDOT("pops22", d.NL)
+	if !strings.Contains(out, "invtriangle") || !strings.Contains(out, "box3d") {
+		t.Fatalf("missing component shapes:\n%s", out)
+	}
+	// Every wire appears exactly once.
+	if strings.Count(out, "->") != d.NL.Wires() {
+		t.Fatalf("edge count %d != wires %d", strings.Count(out, "->"), d.NL.Wires())
+	}
+}
+
+func TestDOTDeterministic(t *testing.T) {
+	d := core.DesignPOPS(2, 2)
+	if NetlistDOT("x", d.NL) != NetlistDOT("x", d.NL) {
+		t.Fatal("DOT output must be deterministic")
+	}
+}

@@ -1,0 +1,162 @@
+package hypergraph
+
+import (
+	"fmt"
+
+	"otisnet/internal/digraph"
+)
+
+// StackNode identifies a node of a stack-graph by the base-digraph vertex it
+// projects to (Group, the π projection of Definition 1) and its index inside
+// the stack (Member, 0 <= Member < s).
+type StackNode struct {
+	Group  int
+	Member int
+}
+
+// StackGraph is the stack-graph ς(s, G) of Definition 1: node set
+// {0..s-1} × V(G), and one hyperarc (π⁻¹(u), π⁻¹(v)) per arc (u,v) of G.
+// Node (x, y) — group x, member y — has id x*s + y, matching the contiguous
+// group blocks of Figures 7 and 12.
+type StackGraph struct {
+	*Hypergraph
+	s    int
+	base *digraph.Digraph
+	// arcOf[i] is the base arc (u,v) realized by hyperarc i.
+	arcOf [][2]int
+}
+
+// NewStackGraph builds ς(s, base). The stacking factor s must be >= 1.
+func NewStackGraph(s int, base *digraph.Digraph) *StackGraph {
+	if s < 1 {
+		panic(fmt.Sprintf("hypergraph: stacking factor %d < 1", s))
+	}
+	sg := &StackGraph{
+		Hypergraph: New(s * base.N()),
+		s:          s,
+		base:       base,
+	}
+	for _, a := range base.Arcs() {
+		u, v := a[0], a[1]
+		tail := make([]int, s)
+		head := make([]int, s)
+		for y := 0; y < s; y++ {
+			tail[y] = sg.NodeID(StackNode{u, y})
+			head[y] = sg.NodeID(StackNode{v, y})
+		}
+		sg.AddHyperarc(tail, head)
+		sg.arcOf = append(sg.arcOf, [2]int{u, v})
+	}
+	return sg
+}
+
+// StackingFactor returns s.
+func (sg *StackGraph) StackingFactor() int { return sg.s }
+
+// Base returns the underlying digraph G of ς(s, G).
+func (sg *StackGraph) Base() *digraph.Digraph { return sg.base }
+
+// Groups returns the number of groups (= |V(G)|).
+func (sg *StackGraph) Groups() int { return sg.base.N() }
+
+// NodeID maps (group, member) to the flat node id group*s + member.
+func (sg *StackGraph) NodeID(n StackNode) int {
+	if n.Group < 0 || n.Group >= sg.base.N() || n.Member < 0 || n.Member >= sg.s {
+		panic(fmt.Sprintf("hypergraph: invalid stack node %+v", n))
+	}
+	return n.Group*sg.s + n.Member
+}
+
+// Node maps a flat node id back to (group, member).
+func (sg *StackGraph) Node(id int) StackNode {
+	if id < 0 || id >= sg.N() {
+		panic(fmt.Sprintf("hypergraph: node id %d out of range", id))
+	}
+	return StackNode{Group: id / sg.s, Member: id % sg.s}
+}
+
+// Project returns π(id): the base-digraph vertex (group) of a node.
+func (sg *StackGraph) Project(id int) int { return sg.Node(id).Group }
+
+// HyperarcFor returns the index of the hyperarc realizing base arc (u, v),
+// or -1 when G has no such arc. If G has parallel (u,v) arcs the first
+// matching hyperarc is returned.
+func (sg *StackGraph) HyperarcFor(u, v int) int {
+	for i, a := range sg.arcOf {
+		if a[0] == u && a[1] == v {
+			return i
+		}
+	}
+	return -1
+}
+
+// BaseArcOf returns the base arc (u, v) realized by hyperarc i.
+func (sg *StackGraph) BaseArcOf(i int) (u, v int) {
+	a := sg.arcOf[i]
+	return a[0], a[1]
+}
+
+// Route returns a hop-by-hop route from node src to node dst as a sequence
+// of node ids, following a shortest path between their groups in the base
+// digraph. Within the final group the exact destination member is reached
+// because every member of a group listens on every incoming coupler. If the
+// two nodes share a group and the base graph has a loop there, the loop
+// provides the single hop; without a loop the route goes through a base
+// cycle. Returns nil if no route exists, and a single-element route when
+// src == dst.
+func (sg *StackGraph) Route(src, dst int) []int {
+	if src == dst {
+		return []int{src}
+	}
+	a, b := sg.Node(src), sg.Node(dst)
+	if a.Group == b.Group {
+		if sg.base.HasLoop(a.Group) {
+			return []int{src, dst}
+		}
+		// Route around a shortest base cycle through the group.
+		best := -1
+		var bestVia int
+		for _, w := range sg.base.Out(a.Group) {
+			d := sg.base.Distance(w, a.Group)
+			if d >= 0 && (best < 0 || d+1 < best) {
+				best = d + 1
+				bestVia = w
+			}
+		}
+		if best < 0 {
+			return nil
+		}
+		mid := sg.NodeID(StackNode{bestVia, b.Member})
+		rest := sg.Route(mid, dst)
+		if rest == nil {
+			return nil
+		}
+		return append([]int{src}, rest...)
+	}
+	path := sg.base.ShortestPath(a.Group, b.Group)
+	if path == nil {
+		return nil
+	}
+	route := make([]int, len(path))
+	route[0] = src
+	for i := 1; i < len(path); i++ {
+		// Intermediate relays use the destination's member index; any member
+		// would do since all members of a group hear the same couplers.
+		route[i] = sg.NodeID(StackNode{path[i], b.Member})
+	}
+	return route
+}
+
+// ValidRoute verifies that consecutive nodes in route are joined by a
+// hyperarc (the first can transmit on a coupler the second listens to).
+func (sg *StackGraph) ValidRoute(route []int) bool {
+	if len(route) == 0 {
+		return false
+	}
+	for i := 0; i+1 < len(route); i++ {
+		if !sg.Reachable(route[i], route[i+1]) {
+			return false
+		}
+	}
+	return true
+}

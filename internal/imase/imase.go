@@ -1,0 +1,118 @@
+// Package imase implements the digraphs of Imase and Itoh II(d,n)
+// (IEEE ToC 1981/1983), the Kautz-graph generalization that exists for
+// every order n: nodes are the integers modulo n and node u has arcs to
+// v ≡ (-d·u - α) mod n for 1 <= α <= d. The paper's key result
+// (Proposition 1) is that II(d,n)'s optical interconnections are exactly
+// the OTIS(d,n) architecture; package otis carries that mapping, this
+// package carries the graph itself and its structural properties:
+// diameter ⌈log_d n⌉ and equivalence with KG(d,k) when n = d^{k-1}(d+1).
+package imase
+
+import (
+	"fmt"
+	"math"
+
+	"otisnet/internal/digraph"
+	"otisnet/internal/kautz"
+)
+
+// Graph is the Imase-Itoh digraph II(d,n).
+type Graph struct {
+	d, n int
+	g    *digraph.Digraph
+}
+
+// New constructs II(d,n) with degree d >= 1 and n >= 1 nodes.
+func New(d, n int) *Graph {
+	if d < 1 || n < 1 {
+		panic(fmt.Sprintf("imase: invalid parameters d=%d n=%d", d, n))
+	}
+	ii := &Graph{d: d, n: n, g: digraph.New(n)}
+	for u := 0; u < n; u++ {
+		for _, v := range Neighbors(d, n, u) {
+			ii.g.AddArc(u, v)
+		}
+	}
+	return ii
+}
+
+// Neighbors returns the out-neighborhood of node u in II(d,n):
+// (-d·u - α) mod n for α = 1..d, in α order. Exported so that package otis
+// can verify Proposition 1 against the defining arithmetic without building
+// the whole graph.
+func Neighbors(d, n, u int) []int {
+	out := make([]int, d)
+	for alpha := 1; alpha <= d; alpha++ {
+		v := (-d*u - alpha) % n
+		if v < 0 {
+			v += n
+		}
+		out[alpha-1] = v
+	}
+	return out
+}
+
+// Degree returns d.
+func (ii *Graph) Degree() int { return ii.d }
+
+// N returns the number of nodes n.
+func (ii *Graph) N() int { return ii.n }
+
+// Digraph returns the underlying digraph (treat as read-only).
+func (ii *Graph) Digraph() *digraph.Digraph { return ii.g }
+
+// DiameterBound returns ⌈log_d n⌉, which Imase and Itoh proved is the
+// diameter of II(d,n) (for n > d; small orders can be complete graphs of
+// smaller diameter). The tests compare it with the BFS diameter.
+func DiameterBound(d, n int) int {
+	if n == 1 {
+		return 0
+	}
+	if d == 1 {
+		return n - 1
+	}
+	// Ceil of log_d n computed in exact integer arithmetic to avoid float
+	// edge cases: smallest k with d^k >= n.
+	k := 0
+	p := 1
+	for p < n {
+		// Guard against overflow at paper-irrelevant scales.
+		if p > math.MaxInt/d {
+			break
+		}
+		p *= d
+		k++
+	}
+	return k
+}
+
+// KautzOrder reports whether n = d^{k-1}(d+1) for some k >= 1, returning k.
+// At these orders II(d,n) is the Kautz graph KG(d,k) (Imase-Itoh 1983),
+// which Corollary 1 of the paper uses.
+func KautzOrder(d, n int) (k int, ok bool) {
+	k = 1
+	m := d + 1
+	for m <= n {
+		if m == n {
+			return k, true
+		}
+		if m > math.MaxInt/d {
+			return 0, false
+		}
+		m *= d
+		k++
+	}
+	return 0, false
+}
+
+// IsKautz reports whether this graph's order makes it a Kautz graph, and if
+// so verifies the isomorphism II(d,n) ≅ KG(d,k) exactly. The returned k is
+// meaningful only when the boolean is true.
+func (ii *Graph) IsKautz() (k int, isKautz bool) {
+	k, ok := KautzOrder(ii.d, ii.n)
+	if !ok {
+		return 0, false
+	}
+	kg := kautz.New(ii.d, k)
+	return k, digraph.Isomorphic(ii.g, kg.Digraph())
+}

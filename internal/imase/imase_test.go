@@ -1,0 +1,215 @@
+package imase
+
+import (
+	"testing"
+	"testing/quick"
+
+	"otisnet/internal/digraph"
+	"otisnet/internal/kautz"
+)
+
+func TestNeighborsArithmetic(t *testing.T) {
+	// II(3,12), Fig. 10: node 0 -> (-1, -2, -3) mod 12 = 11, 10, 9.
+	got := Neighbors(3, 12, 0)
+	want := []int{11, 10, 9}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Neighbors(3,12,0) = %v, want %v", got, want)
+		}
+	}
+	// Node 5 -> (-15-α) mod 12 for α=1..3 = 8, 7, 6.
+	got = Neighbors(3, 12, 5)
+	want = []int{8, 7, 6}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Neighbors(3,12,5) = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestNewInvalidPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(0,5) should panic")
+		}
+	}()
+	New(0, 5)
+}
+
+func TestBasicStructure(t *testing.T) {
+	ii := New(3, 12)
+	if ii.N() != 12 || ii.Degree() != 3 {
+		t.Fatal("parameters wrong")
+	}
+	g := ii.Digraph()
+	if g.M() != 36 {
+		t.Fatalf("II(3,12) arcs = %d, want 36", g.M())
+	}
+	for u := 0; u < 12; u++ {
+		if g.OutDegree(u) != 3 {
+			t.Fatalf("out-degree of %d is %d", u, g.OutDegree(u))
+		}
+	}
+}
+
+func TestInDegreeRegular(t *testing.T) {
+	// II(d,n) is d-in-regular: v has in-neighbors determined by
+	// d·u ≡ -v-α, and as u ranges over Z_n each v is hit d times total.
+	for _, p := range []struct{ d, n int }{{2, 7}, {3, 12}, {4, 10}, {2, 6}} {
+		g := New(p.d, p.n).Digraph()
+		for v := 0; v < p.n; v++ {
+			if g.InDegree(v) != p.d {
+				t.Fatalf("II(%d,%d): in-degree of %d = %d, want %d",
+					p.d, p.n, v, g.InDegree(v), p.d)
+			}
+		}
+	}
+}
+
+func TestDiameterBound(t *testing.T) {
+	cases := []struct{ d, n, want int }{
+		{3, 12, 3}, {2, 8, 3}, {2, 16, 4}, {3, 27, 3}, {3, 28, 4},
+		{5, 1, 0}, {1, 4, 3},
+	}
+	for _, c := range cases {
+		if got := DiameterBound(c.d, c.n); got != c.want {
+			t.Errorf("DiameterBound(%d,%d) = %d, want %d", c.d, c.n, got, c.want)
+		}
+	}
+}
+
+func TestDiameterMatchesBound(t *testing.T) {
+	// Imase-Itoh 1981: diameter of II(d,n) is ⌈log_d n⌉ (n > d+1; for very
+	// small n the graph can beat the bound). We verify equality on a sweep
+	// and never exceed it.
+	for d := 2; d <= 4; d++ {
+		for n := d + 2; n <= 40; n++ {
+			g := New(d, n).Digraph()
+			diam := g.Diameter()
+			bound := DiameterBound(d, n)
+			if diam > bound {
+				t.Errorf("II(%d,%d) diameter %d exceeds bound %d", d, n, diam, bound)
+			}
+			if diam != bound {
+				t.Logf("II(%d,%d) diameter %d < bound %d (allowed)", d, n, diam, bound)
+			}
+		}
+	}
+}
+
+func TestKautzOrder(t *testing.T) {
+	cases := []struct {
+		d, n  int
+		wantK int
+		ok    bool
+	}{
+		{3, 12, 2, true},   // 3·4
+		{2, 6, 2, true},    // 2·3
+		{2, 12, 3, true},   // 4·3
+		{2, 3, 1, true},    // d+1
+		{3, 13, 0, false},  // not a Kautz order
+		{5, 750, 4, true},  // 5³·6
+		{5, 3750, 5, true}, // 5⁴·6 — the paper's "KG(5,4)" figure is KG(5,5)
+	}
+	for _, c := range cases {
+		k, ok := KautzOrder(c.d, c.n)
+		if ok != c.ok || k != c.wantK {
+			t.Errorf("KautzOrder(%d,%d) = (%d,%v), want (%d,%v)",
+				c.d, c.n, k, ok, c.wantK, c.ok)
+		}
+	}
+}
+
+func TestIIEqualsKautzAtKautzOrders(t *testing.T) {
+	// Imase-Itoh 1983 / paper §2.6: II(d, d^{k-1}(d+1)) is KG(d,k).
+	for _, p := range []struct{ d, k int }{{2, 1}, {2, 2}, {2, 3}, {3, 2}, {4, 2}} {
+		n := kautz.N(p.d, p.k)
+		ii := New(p.d, n)
+		k, isK := ii.IsKautz()
+		if !isK || k != p.k {
+			t.Errorf("II(%d,%d) should be KG(%d,%d); got k=%d ok=%v",
+				p.d, n, p.d, p.k, k, isK)
+		}
+	}
+}
+
+func TestIsKautzRejectsNonKautzOrders(t *testing.T) {
+	ii := New(3, 13)
+	if _, isK := ii.IsKautz(); isK {
+		t.Fatal("II(3,13) is not a Kautz order")
+	}
+}
+
+func TestFig10IsKG32(t *testing.T) {
+	// Fig. 10 states II(3,12) is KG(3,2) explicitly.
+	ii := New(3, 12)
+	k, isK := ii.IsKautz()
+	if !isK || k != 2 {
+		t.Fatalf("II(3,12) should be KG(3,2), got k=%d ok=%v", k, isK)
+	}
+}
+
+func TestStronglyConnected(t *testing.T) {
+	for _, p := range []struct{ d, n int }{{2, 5}, {3, 12}, {4, 17}} {
+		if !New(p.d, p.n).Digraph().IsStronglyConnected() {
+			t.Errorf("II(%d,%d) should be strongly connected", p.d, p.n)
+		}
+	}
+}
+
+// Property: neighbor arithmetic stays in range and matches the digraph.
+func TestNeighborsConsistencyProperty(t *testing.T) {
+	f := func(du, nu, uu uint8) bool {
+		d := 1 + int(du)%4
+		n := 2 + int(nu)%30
+		u := int(uu) % n
+		nbrs := Neighbors(d, n, u)
+		if len(nbrs) != d {
+			return false
+		}
+		g := New(d, n).Digraph()
+		for _, v := range nbrs {
+			if v < 0 || v >= n {
+				return false
+			}
+			if !g.HasArc(u, v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the d out-neighbors of u are d consecutive residues
+// (-du-1 ... -du-d descending), a structural fact Proposition 1's input
+// blocking relies on.
+func TestNeighborsConsecutiveProperty(t *testing.T) {
+	f := func(du, nu, uu uint8) bool {
+		d := 1 + int(du)%4
+		n := d + 1 + int(nu)%30
+		u := int(uu) % n
+		nbrs := Neighbors(d, n, u)
+		for i := 1; i < len(nbrs); i++ {
+			if (nbrs[i-1]-nbrs[i]+n)%n != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSmallOrdersAreComplete(t *testing.T) {
+	// II(d, d+1) is the complete digraph K_{d+1} (= KG(d,1)).
+	for d := 2; d <= 4; d++ {
+		ii := New(d, d+1)
+		if !digraph.Isomorphic(ii.Digraph(), digraph.Complete(d+1)) {
+			t.Errorf("II(%d,%d) should be K_%d", d, d+1, d+1)
+		}
+	}
+}

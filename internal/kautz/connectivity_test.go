@@ -1,0 +1,48 @@
+package kautz
+
+import "testing"
+
+// The fault-tolerance claim of §2.5 ([17]) rests on Kautz graphs being
+// d-connected: d internally vertex-disjoint paths join every vertex pair,
+// so d-1 faulty vertices cannot disconnect the network. Verified exactly
+// by max-flow on paper-scale instances.
+func TestKautzDConnectivity(t *testing.T) {
+	for _, p := range []struct{ d, k int }{{2, 2}, {2, 3}, {3, 2}} {
+		kg := New(p.d, p.k)
+		if c := kg.Digraph().VertexConnectivityExact(); c != p.d {
+			t.Errorf("KG(%d,%d) vertex connectivity = %d, want %d", p.d, p.k, c, p.d)
+		}
+	}
+}
+
+// Between any two distinct vertices there are exactly d disjoint paths
+// (not just connectivity d): spot-check with explicit path extraction.
+func TestKautzDisjointPathFamilies(t *testing.T) {
+	kg := New(3, 2)
+	g := kg.Digraph()
+	pairs := [][2]int{{0, 5}, {1, 10}, {7, 2}}
+	for _, pr := range pairs {
+		paths := g.MaxDisjointPaths(pr[0], pr[1])
+		want := 3
+		if g.HasArc(pr[0], pr[1]) {
+			// Adjacent pairs: direct arc + (d-1) or d detours, at least d.
+			if len(paths) < want {
+				t.Errorf("pair %v: %d disjoint paths, want >= %d", pr, len(paths), want)
+			}
+		} else if len(paths) != want {
+			t.Errorf("pair %v: %d disjoint paths, want %d", pr, len(paths), want)
+		}
+		if !g.InternallyDisjoint(paths) {
+			t.Errorf("pair %v: paths not disjoint", pr)
+		}
+	}
+}
+
+// De Bruijn graphs, by contrast, have connectivity d-1 (the loops at
+// constant words waste a neighbor) — one reason the paper builds on Kautz.
+func TestDeBruijnConnectivityDMinus1(t *testing.T) {
+	b := NewDeBruijn(2, 3)
+	if c := b.Digraph().VertexConnectivityExact(); c != 1 {
+		t.Fatalf("B(2,3) connectivity = %d, want d-1 = 1", c)
+	}
+}

@@ -1,0 +1,158 @@
+package kautz
+
+// Fault-tolerant routing. The paper (§2.5, citing Imase, Soneoka and Okada
+// 1986) states that label routing "can be extended to generate a path of
+// length at most k+2 which survives d-1 link or node faults". We realize
+// this with a family of candidate paths: the direct label-induced path plus
+// one detour path per alphabet symbol (RouteVia). The detour paths leave the
+// source through distinct first arcs and, apart from short prefixes, spell
+// disjoint words, so up to d-1 faulty nodes cannot kill all of them. The
+// experiment harness (T6) verifies the k+2 bound under random fault
+// injection; RouteAvoiding falls back to a BFS on the surviving subgraph if
+// every candidate is blocked (which the experiments never observe for
+// <= d-1 node faults).
+
+import "otisnet/internal/digraph"
+
+// CandidatePaths returns the fault-tolerance path family from from to to:
+// the direct label route first, then for every alphabet symbol z (skipping
+// detours that coincide with the direct route's first hop) the RouteVia
+// detour, then second-order detours that shift in two detour symbols before
+// heading to the destination (these cover the k+2 length budget). Paths are
+// ordered by increasing length. All returned paths are valid; none repeats
+// the source internally.
+func CandidatePaths(d int, from, to Label) [][]Label {
+	var out [][]Label
+	out = append(out, Route(from, to))
+	k := len(from)
+	for z := byte(0); int(z) <= d; z++ {
+		p := RouteVia(from, to, z)
+		if p == nil || len(p) == 0 {
+			continue
+		}
+		if samePath(p, out[0]) {
+			continue
+		}
+		out = append(out, p)
+	}
+	// Two-symbol detours: from -> shift z1 -> shift z2 -> route. They give
+	// paths of length at most k+2 hops and add diversity close to the source.
+	for z1 := byte(0); int(z1) <= d; z1++ {
+		if from[k-1] == z1 {
+			continue
+		}
+		mid1 := make(Label, k)
+		copy(mid1, from[1:])
+		mid1[k-1] = z1
+		for z2 := byte(0); int(z2) <= d; z2++ {
+			if z2 == z1 {
+				continue
+			}
+			p := RouteVia(mid1, to, z2)
+			if p == nil {
+				continue
+			}
+			full := append([]Label{from.Clone()}, p...)
+			if pathLen(full) > k+2 {
+				continue
+			}
+			dup := false
+			for _, q := range out {
+				if samePath(q, full) {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				out = append(out, full)
+			}
+		}
+	}
+	sortByLength(out)
+	return out
+}
+
+func pathLen(p []Label) int { return len(p) - 1 }
+
+func samePath(a, b []Label) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !a[i].Equal(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func sortByLength(paths [][]Label) {
+	// Insertion sort: the family is tiny (O(d²) paths).
+	for i := 1; i < len(paths); i++ {
+		for j := i; j > 0 && len(paths[j]) < len(paths[j-1]); j-- {
+			paths[j], paths[j-1] = paths[j-1], paths[j]
+		}
+	}
+}
+
+// FaultSet is a predicate marking faulty vertices (by label). The source and
+// destination are assumed healthy.
+type FaultSet func(Label) bool
+
+// FaultyLabels builds a FaultSet from an explicit list of faulty words.
+func FaultyLabels(labels []Label) FaultSet {
+	return func(w Label) bool {
+		for _, f := range labels {
+			if f.Equal(w) {
+				return true
+			}
+		}
+		return false
+	}
+}
+
+// RouteAvoiding returns the shortest candidate path from from to to whose
+// internal vertices all avoid the fault set, or — if every candidate is
+// blocked — a BFS shortest path on the surviving subgraph, or nil when the
+// destination is unreachable. The boolean reports whether the label-based
+// candidate family sufficed (true) or the BFS fallback was needed (false).
+func (kg *Graph) RouteAvoiding(from, to Label, faulty FaultSet) ([]Label, bool) {
+	if from.Equal(to) {
+		return []Label{from.Clone()}, true
+	}
+	for _, p := range CandidatePaths(kg.d, from, to) {
+		ok := true
+		for _, w := range p[1 : len(p)-1] {
+			if faulty(w) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return p, true
+		}
+	}
+	// Fallback: exact search on the surviving subgraph.
+	keep := make([]bool, kg.N())
+	for u := 0; u < kg.N(); u++ {
+		keep[u] = !faulty(kg.LabelOf(u))
+	}
+	keep[kg.Index(from)] = true
+	keep[kg.Index(to)] = true
+	sub, remap := digraph.InducedSubgraph(kg.g, keep)
+	inv := make([]int, sub.N())
+	for old, nw := range remap {
+		if nw >= 0 {
+			inv[nw] = old
+		}
+	}
+	p := sub.ShortestPath(remap[kg.Index(from)], remap[kg.Index(to)])
+	if p == nil {
+		return nil, false
+	}
+	path := make([]Label, len(p))
+	for i, v := range p {
+		path[i] = kg.LabelOf(inv[v])
+	}
+	return path, false
+}

@@ -1,0 +1,99 @@
+package kautz
+
+// This file implements the label-induced routing the paper highlights in
+// §2.5: "routing on the Kautz graph is very simple, since a shortest path
+// routing algorithm (every path is of length at most k) is induced by the
+// label of the nodes". A route from word u to word v shifts in the symbols
+// of v after the longest suffix of u that is a prefix of v.
+
+// Overlap returns the length of the longest suffix of from that equals a
+// prefix of to (both words of the same length k). Overlap k means
+// from == to.
+func Overlap(from, to Label) int {
+	k := len(from)
+	for l := k; l >= 1; l-- {
+		match := true
+		for i := 0; i < l; i++ {
+			if from[k-l+i] != to[i] {
+				match = false
+				break
+			}
+		}
+		if match {
+			return l
+		}
+	}
+	return 0
+}
+
+// Distance returns the label-induced distance k - Overlap(from, to), which
+// equals the shortest-path distance in KG(d,k) (verified against BFS in the
+// tests).
+func Distance(from, to Label) int {
+	return len(from) - Overlap(from, to)
+}
+
+// Route returns the label-induced shortest path from from to to, inclusive
+// of both endpoints, of length (node count) Distance+1 and at most k+1.
+// Step t visits the word from[t:] ++ to[l : l+t] where l is the overlap.
+func Route(from, to Label) []Label {
+	k := len(from)
+	l := Overlap(from, to)
+	steps := k - l
+	path := make([]Label, steps+1)
+	for t := 0; t <= steps; t++ {
+		w := make(Label, k)
+		copy(w, from[t:])
+		copy(w[k-t:], to[l:l+t])
+		path[t] = w
+	}
+	return path
+}
+
+// RouteVia returns the path that first shifts in the detour symbol z and
+// then routes label-induced to the destination, or nil when z equals the
+// last symbol of from (no such arc exists). The result has length at most
+// k+2 nodes beyond... precisely at most 1 + k hops. Detour paths through
+// distinct z are internally disjoint near the source, which is what gives
+// Kautz graphs their d-connectivity; the fault-tolerant router exploits it.
+func RouteVia(from, to Label, z byte) []Label {
+	k := len(from)
+	if from[k-1] == z {
+		return nil
+	}
+	mid := make(Label, k)
+	copy(mid, from[1:])
+	mid[k-1] = z
+	rest := Route(mid, to)
+	path := make([]Label, 0, len(rest)+1)
+	path = append(path, from.Clone())
+	path = append(path, rest...)
+	return path
+}
+
+// ValidPath reports whether path is a sequence of valid degree-d Kautz
+// words in which each consecutive pair is joined by a Kautz arc
+// (left-shift by one symbol).
+func ValidPath(path []Label, d int) bool {
+	if len(path) == 0 {
+		return false
+	}
+	for _, w := range path {
+		if !w.Valid(d) {
+			return false
+		}
+	}
+	k := len(path[0])
+	for i := 0; i+1 < len(path); i++ {
+		u, v := path[i], path[i+1]
+		if len(v) != k {
+			return false
+		}
+		for j := 0; j+1 < k; j++ {
+			if u[j+1] != v[j] {
+				return false
+			}
+		}
+	}
+	return true
+}

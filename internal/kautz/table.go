@@ -1,0 +1,71 @@
+package kautz
+
+// RoutingTable is the conventional alternative to label-induced routing:
+// a precomputed next-hop table of size N×N. The paper's §2.5 point is that
+// Kautz networks don't need one — Route computes shortest paths from the
+// labels alone in O(k) time and O(1) state. The table exists here to make
+// that trade-off measurable (BenchmarkAblationLabelVsTable): table lookup
+// is O(1) per hop but costs O(N²) memory and O(N·(N+M)) build time.
+type RoutingTable struct {
+	n    int
+	next []int32 // next[u*n+v] = first hop from u toward v; -1 on diagonal
+}
+
+// BuildRoutingTable precomputes shortest-path next hops for every ordered
+// vertex pair via one BFS per source.
+func (kg *Graph) BuildRoutingTable() *RoutingTable {
+	n := kg.N()
+	t := &RoutingTable{n: n, next: make([]int32, n*n)}
+	g := kg.Digraph()
+	for u := 0; u < n; u++ {
+		// BFS from u, recording the first hop used to reach each vertex.
+		first := make([]int32, n)
+		dist := make([]int, n)
+		for i := range dist {
+			dist[i] = -1
+			first[i] = -1
+		}
+		dist[u] = 0
+		queue := []int{u}
+		for len(queue) > 0 {
+			x := queue[0]
+			queue = queue[1:]
+			for _, y := range g.Out(x) {
+				if dist[y] == -1 {
+					dist[y] = dist[x] + 1
+					if x == u {
+						first[y] = int32(y)
+					} else {
+						first[y] = first[x]
+					}
+					queue = append(queue, y)
+				}
+			}
+		}
+		copy(t.next[u*n:(u+1)*n], first)
+	}
+	return t
+}
+
+// NextHop returns the first vertex on a shortest path from u to v, or -1
+// when u == v or v is unreachable.
+func (t *RoutingTable) NextHop(u, v int) int {
+	return int(t.next[u*t.n+v])
+}
+
+// PathVia walks the table from u to v, returning the full vertex path.
+func (t *RoutingTable) PathVia(u, v int) []int {
+	path := []int{u}
+	for u != v {
+		h := t.NextHop(u, v)
+		if h < 0 {
+			return nil
+		}
+		path = append(path, h)
+		u = h
+	}
+	return path
+}
+
+// MemoryBytes returns the table's storage footprint.
+func (t *RoutingTable) MemoryBytes() int { return 4 * len(t.next) }

@@ -1,0 +1,78 @@
+package kautz
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRoutingTableAgreesWithLabelRouting(t *testing.T) {
+	// The table and the label router must produce equal-length shortest
+	// paths for every pair — the §2.5 claim that labels suffice.
+	kg := New(3, 2)
+	tab := kg.BuildRoutingTable()
+	for u := 0; u < kg.N(); u++ {
+		for v := 0; v < kg.N(); v++ {
+			if u == v {
+				if tab.NextHop(u, v) != -1 {
+					t.Fatalf("diagonal next hop should be -1")
+				}
+				continue
+			}
+			tp := tab.PathVia(u, v)
+			lp := Route(kg.LabelOf(u), kg.LabelOf(v))
+			if tp == nil {
+				t.Fatalf("table cannot route %d -> %d", u, v)
+			}
+			if len(tp) != len(lp) {
+				t.Fatalf("path length mismatch %d->%d: table %d, label %d",
+					u, v, len(tp), len(lp))
+			}
+		}
+	}
+}
+
+func TestRoutingTablePathsAreValid(t *testing.T) {
+	kg := New(2, 3)
+	g := kg.Digraph()
+	tab := kg.BuildRoutingTable()
+	for u := 0; u < kg.N(); u++ {
+		for v := 0; v < kg.N(); v++ {
+			if u == v {
+				continue
+			}
+			p := tab.PathVia(u, v)
+			for i := 0; i+1 < len(p); i++ {
+				if !g.HasArc(p[i], p[i+1]) {
+					t.Fatalf("invalid table path %v", p)
+				}
+			}
+		}
+	}
+}
+
+func TestRoutingTableMemory(t *testing.T) {
+	kg := New(2, 2) // 6 nodes
+	tab := kg.BuildRoutingTable()
+	if tab.MemoryBytes() != 4*36 {
+		t.Fatalf("memory = %d, want 144", tab.MemoryBytes())
+	}
+}
+
+// Property: table next hops always decrease the label distance by one.
+func TestRoutingTableProgressProperty(t *testing.T) {
+	kg := New(3, 3)
+	tab := kg.BuildRoutingTable()
+	f := func(a, b uint16) bool {
+		u := int(a) % kg.N()
+		v := int(b) % kg.N()
+		if u == v {
+			return true
+		}
+		h := tab.NextHop(u, v)
+		return Distance(kg.LabelOf(h), kg.LabelOf(v)) ==
+			Distance(kg.LabelOf(u), kg.LabelOf(v))-1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

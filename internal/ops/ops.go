@@ -1,0 +1,124 @@
+// Package ops models single-wavelength Optical Passive Star couplers
+// (§2.2 of the paper). An OPS(s,z) has s inputs and z outputs; it is an
+// optical multiplexer followed by a beam-splitter that divides the incoming
+// signal into z equal parts, each carrying a z-th of the incoming power.
+// Being single-wavelength, at most one input may drive it per time slot —
+// the semantics the slotted simulator enforces. Being passive, it needs no
+// power source; the only costs are the splitting loss and excess losses of
+// the stages, which PowerBudget models.
+package ops
+
+import (
+	"fmt"
+	"math"
+)
+
+// Coupler is an OPS(s,z) coupler. For the degree-s couplers used throughout
+// the paper, s == z.
+type Coupler struct {
+	Inputs  int
+	Outputs int
+}
+
+// New returns an OPS(s,z) coupler.
+func New(s, z int) Coupler {
+	if s < 1 || z < 1 {
+		panic(fmt.Sprintf("ops: invalid OPS(%d,%d)", s, z))
+	}
+	return Coupler{Inputs: s, Outputs: z}
+}
+
+// NewDegree returns the degree-s coupler OPS(s,s) (Fig. 2).
+func NewDegree(s int) Coupler { return New(s, s) }
+
+// Degree returns s when the coupler is balanced (s == z), else -1.
+func (c Coupler) Degree() int {
+	if c.Inputs != c.Outputs {
+		return -1
+	}
+	return c.Inputs
+}
+
+// String implements fmt.Stringer: "OPS(s,z)".
+func (c Coupler) String() string { return fmt.Sprintf("OPS(%d,%d)", c.Inputs, c.Outputs) }
+
+// Broadcast models one time slot: input port src (0-based) transmits power
+// p (in mW, say); every output port receives p/Outputs. It returns the
+// per-output power. This is the one-to-many primitive of the paper.
+func (c Coupler) Broadcast(src int, p float64) []float64 {
+	if src < 0 || src >= c.Inputs {
+		panic(fmt.Sprintf("ops: input %d out of range for %v", src, c))
+	}
+	out := make([]float64, c.Outputs)
+	share := p / float64(c.Outputs)
+	for i := range out {
+		out[i] = share
+	}
+	return out
+}
+
+// SplittingLossDB returns the intrinsic splitting loss of the coupler in
+// decibels: 10·log10(z). A degree-4 coupler (Fig. 2) loses ~6.02 dB.
+func (c Coupler) SplittingLossDB() float64 {
+	return 10 * math.Log10(float64(c.Outputs))
+}
+
+// PowerBudget models an optical path: a launch power, a sequence of stages
+// each with an excess loss in dB, and any number of couplers contributing
+// their splitting losses.
+type PowerBudget struct {
+	LaunchDBm float64 // transmitter launch power, dBm
+	losses    []float64
+}
+
+// NewPowerBudget starts a budget at the given launch power in dBm.
+func NewPowerBudget(launchDBm float64) *PowerBudget {
+	return &PowerBudget{LaunchDBm: launchDBm}
+}
+
+// AddExcessLoss records a fixed excess loss in dB (lens plane, connector,
+// multiplexer insertion...). Negative losses are rejected.
+func (b *PowerBudget) AddExcessLoss(db float64) *PowerBudget {
+	if db < 0 {
+		panic("ops: negative excess loss")
+	}
+	b.losses = append(b.losses, db)
+	return b
+}
+
+// AddCoupler records the splitting loss of traversing c.
+func (b *PowerBudget) AddCoupler(c Coupler) *PowerBudget {
+	b.losses = append(b.losses, c.SplittingLossDB())
+	return b
+}
+
+// TotalLossDB returns the accumulated loss in dB.
+func (b *PowerBudget) TotalLossDB() float64 {
+	t := 0.0
+	for _, l := range b.losses {
+		t += l
+	}
+	return t
+}
+
+// ReceivedDBm returns launch power minus accumulated losses.
+func (b *PowerBudget) ReceivedDBm() float64 { return b.LaunchDBm - b.TotalLossDB() }
+
+// Feasible reports whether the received power meets the receiver
+// sensitivity (dBm).
+func (b *PowerBudget) Feasible(sensitivityDBm float64) bool {
+	return b.ReceivedDBm() >= sensitivityDBm
+}
+
+// MaxDegreeForBudget returns the largest coupler degree s such that a
+// single-coupler path with the given launch power, total excess loss and
+// receiver sensitivity still closes: 10·log10(s) <= margin. Returns 0 when
+// even degree 1 does not close. This reproduces the technology argument of
+// the paper's introduction — splitting loss caps group size s.
+func MaxDegreeForBudget(launchDBm, excessDB, sensitivityDBm float64) int {
+	margin := launchDBm - excessDB - sensitivityDBm
+	if margin < 0 {
+		return 0
+	}
+	return int(math.Floor(math.Pow(10, margin/10)))
+}

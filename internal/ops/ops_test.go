@@ -1,0 +1,165 @@
+package ops
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"otisnet/internal/hypergraph"
+)
+
+func TestNewAndDegree(t *testing.T) {
+	c := NewDegree(4)
+	if c.Inputs != 4 || c.Outputs != 4 || c.Degree() != 4 {
+		t.Fatal("degree-4 coupler wrong")
+	}
+	if New(3, 5).Degree() != -1 {
+		t.Fatal("unbalanced coupler should report degree -1")
+	}
+	if s := New(3, 5).String(); s != "OPS(3,5)" {
+		t.Fatalf("String = %q", s)
+	}
+}
+
+func TestNewInvalidPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("OPS(0,1) should panic")
+		}
+	}()
+	New(0, 1)
+}
+
+func TestBroadcastEqualSplit(t *testing.T) {
+	// Fig. 2: degree-4 OPS divides the signal into 4 equal parts.
+	c := NewDegree(4)
+	out := c.Broadcast(2, 1.0)
+	if len(out) != 4 {
+		t.Fatalf("outputs = %d, want 4", len(out))
+	}
+	for _, p := range out {
+		if p != 0.25 {
+			t.Fatalf("output power %v, want 0.25", p)
+		}
+	}
+}
+
+func TestBroadcastRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("src out of range should panic")
+		}
+	}()
+	NewDegree(2).Broadcast(2, 1)
+}
+
+func TestSplittingLoss(t *testing.T) {
+	if l := NewDegree(4).SplittingLossDB(); math.Abs(l-6.0206) > 1e-3 {
+		t.Fatalf("splitting loss = %v, want ~6.02 dB", l)
+	}
+	if l := NewDegree(1).SplittingLossDB(); l != 0 {
+		t.Fatalf("degree-1 loss = %v, want 0", l)
+	}
+}
+
+func TestPowerBudget(t *testing.T) {
+	b := NewPowerBudget(0). // 0 dBm = 1 mW
+				AddExcessLoss(1.5).
+				AddCoupler(NewDegree(8))
+	wantLoss := 1.5 + 10*math.Log10(8)
+	if math.Abs(b.TotalLossDB()-wantLoss) > 1e-9 {
+		t.Fatalf("total loss = %v, want %v", b.TotalLossDB(), wantLoss)
+	}
+	if math.Abs(b.ReceivedDBm()-(0-wantLoss)) > 1e-9 {
+		t.Fatal("received power wrong")
+	}
+	if !b.Feasible(-15) || b.Feasible(-10) {
+		t.Fatal("feasibility thresholds wrong")
+	}
+}
+
+func TestPowerBudgetNegativeLossPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative excess loss should panic")
+		}
+	}()
+	NewPowerBudget(0).AddExcessLoss(-1)
+}
+
+func TestMaxDegreeForBudget(t *testing.T) {
+	// Margin 20 dB supports degree 100; 0 dB margin supports degree 1.
+	if got := MaxDegreeForBudget(0, 5, -25); got != 100 {
+		t.Fatalf("MaxDegree = %d, want 100", got)
+	}
+	if got := MaxDegreeForBudget(0, 0, 0); got != 1 {
+		t.Fatalf("MaxDegree = %d, want 1", got)
+	}
+	if got := MaxDegreeForBudget(0, 5, 0); got != 0 {
+		t.Fatalf("infeasible budget should give 0, got %d", got)
+	}
+}
+
+// Fig. 3: an OPS coupler of degree s is exactly a hyperarc joining its
+// source set to its destination set.
+func TestCouplerAsHyperarc(t *testing.T) {
+	c := NewDegree(4)
+	h := hypergraph.New(8)
+	h.AddHyperarc([]int{0, 1, 2, 3}, []int{4, 5, 6, 7})
+	a := h.Hyperarc(0)
+	if a.Degree() != c.Degree() {
+		t.Fatal("hyperarc degree must match coupler degree")
+	}
+	// One-to-many: any source reaches every destination, destinations reach
+	// nobody — matching Broadcast delivering to all outputs.
+	for _, src := range a.Tail {
+		for _, dst := range a.Head {
+			if !h.Reachable(src, dst) {
+				t.Fatalf("source %d should reach destination %d", src, dst)
+			}
+		}
+	}
+	for _, dst := range a.Head {
+		if h.OutDegree(dst) != 0 {
+			t.Fatal("destinations must not transmit on the coupler")
+		}
+	}
+}
+
+// Property: broadcast conserves energy exactly (sum of outputs == input).
+func TestBroadcastConservationProperty(t *testing.T) {
+	f := func(deg uint8, power float64) bool {
+		s := 1 + int(deg)%64
+		if math.IsNaN(power) || math.IsInf(power, 0) {
+			return true
+		}
+		p := math.Abs(power)
+		out := NewDegree(s).Broadcast(0, p)
+		sum := 0.0
+		for _, v := range out {
+			sum += v
+		}
+		return math.Abs(sum-p) <= 1e-9*math.Max(1, p)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: MaxDegreeForBudget is consistent with the budget arithmetic —
+// the returned degree closes the link and degree+1 does not.
+func TestMaxDegreeConsistencyProperty(t *testing.T) {
+	f := func(m uint8) bool {
+		margin := float64(m%30) + 0.5
+		s := MaxDegreeForBudget(margin, 0, 0)
+		if s < 1 {
+			return false
+		}
+		ok := NewPowerBudget(margin).AddCoupler(NewDegree(s)).Feasible(0)
+		tooFar := NewPowerBudget(margin).AddCoupler(NewDegree(s + 1)).Feasible(0)
+		return ok && !tooFar
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

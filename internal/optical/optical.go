@@ -1,0 +1,244 @@
+// Package optical models the component-level optical designs of §3 and §4
+// of the paper as netlists: transmitter and receiver arrays, optical
+// multiplexers, beam-splitters, OTIS free-space blocks and fiber loopbacks,
+// wired port-to-port. A netlist can be validated (every port wired exactly
+// once), traced (which receivers does a given transmitter beam reach —
+// this is how package core proves that a design realizes its target
+// hypergraph), and summarized as a bill of materials reproducing the
+// component counts the paper quotes for Figures 11 and 12.
+package optical
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Kind enumerates component types.
+type Kind int
+
+// Component kinds.
+const (
+	// TxArray is a processor's transmit side: no inputs, P output beams
+	// (one per OPS coupler the processor can drive).
+	TxArray Kind = iota
+	// RxArray is a processor's receive side: P input ports, no outputs.
+	RxArray
+	// Mux is an optical multiplexer: S inputs combined onto 1 output —
+	// the input half of an OPS coupler.
+	Mux
+	// Splitter is a beam-splitter: 1 input divided over Z outputs — the
+	// output half of an OPS coupler.
+	Splitter
+	// OTISBlock is a free-space OTIS(G,T) stage: G·T inputs permuted onto
+	// G·T outputs by the transpose.
+	OTISBlock
+	// Fiber is a 1-input 1-output guided link (used for stack-Kautz loops).
+	Fiber
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case TxArray:
+		return "tx-array"
+	case RxArray:
+		return "rx-array"
+	case Mux:
+		return "mux"
+	case Splitter:
+		return "splitter"
+	case OTISBlock:
+		return "otis"
+	case Fiber:
+		return "fiber"
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Component is one physical device in a design.
+type Component struct {
+	ID   int
+	Kind Kind
+	// Class is the BOM grouping key, e.g. "OTIS(6,4)", "MUX(6)", "TX[4]".
+	Class string
+	// Name is a unique instance name, e.g. "group3/otis-in".
+	Name string
+	// NIn and NOut are port counts.
+	NIn, NOut int
+	// Perm, for OTISBlock only, maps input port -> output port.
+	Perm []int
+}
+
+// Port identifies one port of one component.
+type Port struct {
+	Comp int
+	Port int
+}
+
+// Netlist is a set of components plus one-to-one wires from output ports to
+// input ports.
+type Netlist struct {
+	comps []Component
+	// fromOut[src output port] = dst input port, and the reverse index.
+	fromOut map[Port]Port
+	toIn    map[Port]Port
+}
+
+// NewNetlist returns an empty netlist.
+func NewNetlist() *Netlist {
+	return &Netlist{
+		fromOut: make(map[Port]Port),
+		toIn:    make(map[Port]Port),
+	}
+}
+
+// AddComponent appends a component and returns its id. Perm is required for
+// OTISBlock (length NIn, a bijection) and must be nil otherwise.
+func (n *Netlist) AddComponent(kind Kind, class, name string, nin, nout int, perm []int) int {
+	if nin < 0 || nout < 0 {
+		panic("optical: negative port count")
+	}
+	switch kind {
+	case TxArray:
+		if nin != 0 || nout < 1 {
+			panic("optical: tx-array must have 0 inputs, >=1 outputs")
+		}
+	case RxArray:
+		if nout != 0 || nin < 1 {
+			panic("optical: rx-array must have >=1 inputs, 0 outputs")
+		}
+	case Mux:
+		if nout != 1 {
+			panic("optical: mux must have exactly 1 output")
+		}
+	case Splitter:
+		if nin != 1 {
+			panic("optical: splitter must have exactly 1 input")
+		}
+	case Fiber:
+		if nin != 1 || nout != 1 {
+			panic("optical: fiber must be 1-in 1-out")
+		}
+	case OTISBlock:
+		if nin != nout || len(perm) != nin {
+			panic("optical: otis block needs nin == nout == len(perm)")
+		}
+	}
+	if kind != OTISBlock && perm != nil {
+		panic("optical: perm only valid for otis blocks")
+	}
+	id := len(n.comps)
+	n.comps = append(n.comps, Component{
+		ID: id, Kind: kind, Class: class, Name: name,
+		NIn: nin, NOut: nout, Perm: append([]int(nil), perm...),
+	})
+	return id
+}
+
+// Component returns the component with the given id.
+func (n *Netlist) Component(id int) Component {
+	if id < 0 || id >= len(n.comps) {
+		panic(fmt.Sprintf("optical: component %d out of range", id))
+	}
+	return n.comps[id]
+}
+
+// Components returns the number of components.
+func (n *Netlist) Components() int { return len(n.comps) }
+
+// Wires returns the number of wires.
+func (n *Netlist) Wires() int { return len(n.fromOut) }
+
+// Connect wires output port (src, srcPort) to input port (dst, dstPort).
+// Each port may be used at most once; violations return an error.
+func (n *Netlist) Connect(src, srcPort, dst, dstPort int) error {
+	s := n.Component(src)
+	d := n.Component(dst)
+	if srcPort < 0 || srcPort >= s.NOut {
+		return fmt.Errorf("optical: %s has no output port %d", s.Name, srcPort)
+	}
+	if dstPort < 0 || dstPort >= d.NIn {
+		return fmt.Errorf("optical: %s has no input port %d", d.Name, dstPort)
+	}
+	from := Port{src, srcPort}
+	to := Port{dst, dstPort}
+	if _, dup := n.fromOut[from]; dup {
+		return fmt.Errorf("optical: output %s:%d already wired", s.Name, srcPort)
+	}
+	if _, dup := n.toIn[to]; dup {
+		return fmt.Errorf("optical: input %s:%d already wired", d.Name, dstPort)
+	}
+	n.fromOut[from] = to
+	n.toIn[to] = from
+	return nil
+}
+
+// MustConnect is Connect that panics on error; design builders use it since
+// a failed connection is a programming bug, not an input error.
+func (n *Netlist) MustConnect(src, srcPort, dst, dstPort int) {
+	if err := n.Connect(src, srcPort, dst, dstPort); err != nil {
+		panic(err)
+	}
+}
+
+// Validate checks the design is complete: every output port of every
+// component is wired, and every input port of every component is wired.
+// A valid design has no dangling light paths.
+func (n *Netlist) Validate() error {
+	for _, c := range n.comps {
+		for p := 0; p < c.NOut; p++ {
+			if _, ok := n.fromOut[Port{c.ID, p}]; !ok {
+				return fmt.Errorf("optical: dangling output %s:%d", c.Name, p)
+			}
+		}
+		for p := 0; p < c.NIn; p++ {
+			if _, ok := n.toIn[Port{c.ID, p}]; !ok {
+				return fmt.Errorf("optical: dangling input %s:%d", c.Name, p)
+			}
+		}
+	}
+	return nil
+}
+
+// BOM returns the bill of materials: count of components per Class, plus a
+// deterministic ordering of the classes for printing.
+func (n *Netlist) BOM() (map[string]int, []string) {
+	bom := map[string]int{}
+	for _, c := range n.comps {
+		bom[c.Class]++
+	}
+	classes := make([]string, 0, len(bom))
+	for cl := range bom {
+		classes = append(classes, cl)
+	}
+	sort.Strings(classes)
+	return bom, classes
+}
+
+// Count returns the number of components of the given class.
+func (n *Netlist) Count(class string) int {
+	c := 0
+	for _, comp := range n.comps {
+		if comp.Class == class {
+			c++
+		}
+	}
+	return c
+}
+
+// WireFrom returns the input port wired to output port (comp, port), with
+// ok=false when the output is dangling.
+func (n *Netlist) WireFrom(comp, port int) (Port, bool) {
+	p, ok := n.fromOut[Port{comp, port}]
+	return p, ok
+}
+
+// FindByName returns the id of the uniquely named component, or -1.
+func (n *Netlist) FindByName(name string) int {
+	for _, c := range n.comps {
+		if c.Name == name {
+			return c.ID
+		}
+	}
+	return -1
+}

@@ -1,0 +1,206 @@
+package optical
+
+import (
+	"testing"
+
+	"otisnet/internal/otis"
+)
+
+// buildTinyCoupler wires 2 transmitters through a mux, a splitter, and into
+// 2 receivers: a degree-2 OPS coupler end to end.
+func buildTinyCoupler(t *testing.T) (*Netlist, int, int, int, int) {
+	t.Helper()
+	n := NewNetlist()
+	tx0 := n.AddComponent(TxArray, "TX[1]", "tx0", 0, 1, nil)
+	tx1 := n.AddComponent(TxArray, "TX[1]", "tx1", 0, 1, nil)
+	mux := n.AddComponent(Mux, "MUX(2)", "mux", 2, 1, nil)
+	spl := n.AddComponent(Splitter, "SPLITTER(2)", "spl", 1, 2, nil)
+	rx0 := n.AddComponent(RxArray, "RX[1]", "rx0", 1, 0, nil)
+	rx1 := n.AddComponent(RxArray, "RX[1]", "rx1", 1, 0, nil)
+	n.MustConnect(tx0, 0, mux, 0)
+	n.MustConnect(tx1, 0, mux, 1)
+	n.MustConnect(mux, 0, spl, 0)
+	n.MustConnect(spl, 0, rx0, 0)
+	n.MustConnect(spl, 1, rx1, 0)
+	return n, tx0, tx1, rx0, rx1
+}
+
+func TestTinyCouplerTrace(t *testing.T) {
+	n, tx0, tx1, rx0, rx1 := buildTinyCoupler(t)
+	if err := n.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, tx := range []int{tx0, tx1} {
+		sinks, err := n.Trace(tx, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(sinks) != 2 {
+			t.Fatalf("trace reached %d sinks, want 2", len(sinks))
+		}
+		got := map[int]bool{}
+		for _, s := range sinks {
+			got[s.Comp] = true
+		}
+		if !got[rx0] || !got[rx1] {
+			t.Fatal("broadcast must reach both receivers")
+		}
+	}
+}
+
+func TestValidateDangling(t *testing.T) {
+	n := NewNetlist()
+	n.AddComponent(TxArray, "TX[1]", "tx", 0, 1, nil)
+	if err := n.Validate(); err == nil {
+		t.Fatal("dangling output should fail validation")
+	}
+	n2 := NewNetlist()
+	tx := n2.AddComponent(TxArray, "TX[1]", "tx", 0, 1, nil)
+	rx := n2.AddComponent(RxArray, "RX[2]", "rx", 2, 0, nil)
+	n2.MustConnect(tx, 0, rx, 0)
+	if err := n2.Validate(); err == nil {
+		t.Fatal("dangling input should fail validation")
+	}
+}
+
+func TestConnectErrors(t *testing.T) {
+	n := NewNetlist()
+	tx := n.AddComponent(TxArray, "TX[1]", "tx", 0, 1, nil)
+	rx := n.AddComponent(RxArray, "RX[1]", "rx", 1, 0, nil)
+	if err := n.Connect(tx, 1, rx, 0); err == nil {
+		t.Fatal("invalid source port accepted")
+	}
+	if err := n.Connect(tx, 0, rx, 9); err == nil {
+		t.Fatal("invalid dest port accepted")
+	}
+	if err := n.Connect(tx, 0, rx, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Connect(tx, 0, rx, 0); err == nil {
+		t.Fatal("double wiring accepted")
+	}
+}
+
+func TestAddComponentShapePanics(t *testing.T) {
+	cases := []func(n *Netlist){
+		func(n *Netlist) { n.AddComponent(TxArray, "TX", "t", 1, 1, nil) },
+		func(n *Netlist) { n.AddComponent(RxArray, "RX", "r", 1, 1, nil) },
+		func(n *Netlist) { n.AddComponent(Mux, "M", "m", 2, 2, nil) },
+		func(n *Netlist) { n.AddComponent(Splitter, "S", "s", 2, 2, nil) },
+		func(n *Netlist) { n.AddComponent(Fiber, "F", "f", 1, 2, nil) },
+		func(n *Netlist) { n.AddComponent(OTISBlock, "O", "o", 2, 2, nil) },
+		func(n *Netlist) { n.AddComponent(Mux, "M", "m", 2, 1, []int{0, 1}) },
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d should panic", i)
+				}
+			}()
+			fn(NewNetlist())
+		}()
+	}
+}
+
+func TestOTISBlockTrace(t *testing.T) {
+	// One tx beam through an OTIS(2,2) block to a receiver.
+	o := otis.New(2, 2)
+	n := NewNetlist()
+	tx := n.AddComponent(TxArray, "TX[1]", "tx", 0, 1, nil)
+	blk := n.AddComponent(OTISBlock, "OTIS(2,2)", "blk", 4, 4, o.Permutation())
+	var rx [4]int
+	for i := range rx {
+		rx[i] = n.AddComponent(RxArray, "RX[1]", "rx", 1, 0, nil)
+	}
+	// Drive OTIS input 0; inputs 1..3 need dummy transmitters for validity,
+	// but Trace alone does not require full validity.
+	n.MustConnect(tx, 0, blk, 0)
+	for i := 0; i < 4; i++ {
+		n.MustConnect(blk, i, rx[i], 0)
+	}
+	sinks, err := n.Trace(tx, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Input (0,0) of OTIS(2,2) -> output (1,1) -> flat 3.
+	if len(sinks) != 1 || sinks[0].Comp != rx[3] {
+		t.Fatalf("OTIS trace reached %v, want rx[3]", sinks)
+	}
+}
+
+func TestTraceErrors(t *testing.T) {
+	n := NewNetlist()
+	tx := n.AddComponent(TxArray, "TX[1]", "tx", 0, 1, nil)
+	if _, err := n.Trace(tx, 0); err == nil {
+		t.Fatal("dangling trace should error")
+	}
+	if _, err := n.Trace(tx, 5); err == nil {
+		t.Fatal("invalid beam should error")
+	}
+	mux := n.AddComponent(Mux, "MUX(1)", "m", 1, 1, nil)
+	_ = mux
+	if _, err := n.Trace(mux, 0); err == nil {
+		t.Fatal("tracing from non-tx should error")
+	}
+}
+
+func TestTraceLightLoopDetected(t *testing.T) {
+	// tx -> mux -> splitter -> (rx, back into mux): a feedback loop.
+	n := NewNetlist()
+	tx := n.AddComponent(TxArray, "TX[1]", "tx", 0, 1, nil)
+	mux := n.AddComponent(Mux, "MUX(2)", "mux", 2, 1, nil)
+	spl := n.AddComponent(Splitter, "SPLITTER(2)", "spl", 1, 2, nil)
+	rx := n.AddComponent(RxArray, "RX[1]", "rx", 1, 0, nil)
+	n.MustConnect(tx, 0, mux, 0)
+	n.MustConnect(mux, 0, spl, 0)
+	n.MustConnect(spl, 0, rx, 0)
+	n.MustConnect(spl, 1, mux, 1)
+	if _, err := n.Trace(tx, 0); err == nil {
+		t.Fatal("light loop should be detected")
+	}
+}
+
+func TestBOMAndCount(t *testing.T) {
+	n, _, _, _, _ := buildTinyCoupler(t)
+	bom, classes := n.BOM()
+	if bom["TX[1]"] != 2 || bom["RX[1]"] != 2 || bom["MUX(2)"] != 1 || bom["SPLITTER(2)"] != 1 {
+		t.Fatalf("BOM wrong: %v", bom)
+	}
+	if len(classes) != 4 {
+		t.Fatalf("classes = %v", classes)
+	}
+	if n.Count("MUX(2)") != 1 || n.Count("nope") != 0 {
+		t.Fatal("Count wrong")
+	}
+}
+
+func TestFindByName(t *testing.T) {
+	n, tx0, _, _, _ := buildTinyCoupler(t)
+	if n.FindByName("tx0") != tx0 {
+		t.Fatal("FindByName failed")
+	}
+	if n.FindByName("missing") != -1 {
+		t.Fatal("missing name should return -1")
+	}
+}
+
+func TestTraceSummary(t *testing.T) {
+	n, tx0, tx1, _, _ := buildTinyCoupler(t)
+	sum, err := n.TraceSummary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sum) != 2 {
+		t.Fatalf("summary entries = %d, want 2", len(sum))
+	}
+	if len(sum[Port{tx0, 0}]) != 2 || len(sum[Port{tx1, 0}]) != 2 {
+		t.Fatal("each beam should reach 2 receivers")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if TxArray.String() != "tx-array" || OTISBlock.String() != "otis" {
+		t.Fatal("Kind.String wrong")
+	}
+}

@@ -1,0 +1,126 @@
+package optical
+
+import (
+	"fmt"
+	"math"
+)
+
+// PowerModel assigns insertion losses (dB) to component traversals for
+// power-aware tracing. Splitting loss of beam-splitters is computed from
+// their fan-out (10·log10(z)); the other entries are excess losses.
+type PowerModel struct {
+	// LaunchDBm is the transmitter launch power.
+	LaunchDBm float64
+	// OTISLossDB is the excess loss of one free-space OTIS stage (two lens
+	// planes).
+	OTISLossDB float64
+	// MuxLossDB is the insertion loss of an optical multiplexer.
+	MuxLossDB float64
+	// SplitterExcessDB is the excess (non-splitting) loss of a splitter.
+	SplitterExcessDB float64
+	// FiberLossDB is the loss of a fiber loopback.
+	FiberLossDB float64
+}
+
+// DefaultPowerModel returns the loss budget used by the experiments:
+// 0 dBm launch, 1 dB per OTIS stage, 0.5 dB per mux, 0.2 dB splitter
+// excess, 0.5 dB fiber.
+func DefaultPowerModel() PowerModel {
+	return PowerModel{
+		LaunchDBm:        0,
+		OTISLossDB:       1.0,
+		MuxLossDB:        0.5,
+		SplitterExcessDB: 0.2,
+		FiberLossDB:      0.5,
+	}
+}
+
+// PowerTrace is one receiver endpoint of a power-aware trace.
+type PowerTrace struct {
+	Sink Port
+	// ReceivedDBm is the optical power arriving at the sink.
+	ReceivedDBm float64
+}
+
+// TracePower follows the beam from (tx, beam) like Trace, accumulating
+// losses per the model, and returns the power delivered at every receiver
+// reached.
+func (n *Netlist) TracePower(tx, beam int, pm PowerModel) ([]PowerTrace, error) {
+	c := n.Component(tx)
+	if c.Kind != TxArray {
+		return nil, fmt.Errorf("optical: %s is not a tx-array", c.Name)
+	}
+	if beam < 0 || beam >= c.NOut {
+		return nil, fmt.Errorf("optical: %s has no beam %d", c.Name, beam)
+	}
+	var sinks []PowerTrace
+	visited := map[Port]bool{}
+	var follow func(out Port, dbm float64) error
+	follow = func(out Port, dbm float64) error {
+		if visited[out] {
+			return fmt.Errorf("optical: light loop detected at %s:%d",
+				n.Component(out.Comp).Name, out.Port)
+		}
+		visited[out] = true
+		in, ok := n.fromOut[out]
+		if !ok {
+			return fmt.Errorf("optical: dangling output %s:%d",
+				n.Component(out.Comp).Name, out.Port)
+		}
+		d := n.Component(in.Comp)
+		switch d.Kind {
+		case RxArray:
+			sinks = append(sinks, PowerTrace{Sink: in, ReceivedDBm: dbm})
+			return nil
+		case Mux:
+			return follow(Port{d.ID, 0}, dbm-pm.MuxLossDB)
+		case Splitter:
+			split := 10 * math.Log10(float64(d.NOut))
+			for p := 0; p < d.NOut; p++ {
+				if err := follow(Port{d.ID, p}, dbm-pm.SplitterExcessDB-split); err != nil {
+					return err
+				}
+			}
+			return nil
+		case OTISBlock:
+			return follow(Port{d.ID, d.Perm[in.Port]}, dbm-pm.OTISLossDB)
+		case Fiber:
+			return follow(Port{d.ID, 0}, dbm-pm.FiberLossDB)
+		default:
+			return fmt.Errorf("optical: light entering %s component %s", d.Kind, d.Name)
+		}
+	}
+	if err := follow(Port{tx, beam}, pm.LaunchDBm); err != nil {
+		return nil, err
+	}
+	return sinks, nil
+}
+
+// WorstCasePower returns the minimum received power over every beam of
+// every transmitter in the design — the figure the link budget must close
+// against the receiver sensitivity.
+func (n *Netlist) WorstCasePower(pm PowerModel) (float64, error) {
+	worst := math.Inf(1)
+	found := false
+	for _, c := range n.comps {
+		if c.Kind != TxArray {
+			continue
+		}
+		for b := 0; b < c.NOut; b++ {
+			traces, err := n.TracePower(c.ID, b, pm)
+			if err != nil {
+				return 0, fmt.Errorf("tracing %s beam %d: %w", c.Name, b, err)
+			}
+			for _, tr := range traces {
+				found = true
+				if tr.ReceivedDBm < worst {
+					worst = tr.ReceivedDBm
+				}
+			}
+		}
+	}
+	if !found {
+		return 0, fmt.Errorf("optical: design has no transmitter-to-receiver path")
+	}
+	return worst, nil
+}

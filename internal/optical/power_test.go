@@ -1,0 +1,99 @@
+package optical
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestTracePowerTinyCoupler(t *testing.T) {
+	n, tx0, _, _, _ := buildTinyCoupler(t)
+	pm := PowerModel{LaunchDBm: 0, MuxLossDB: 0.5, SplitterExcessDB: 0.2}
+	traces, err := n.TracePower(tx0, 0, pm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(traces) != 2 {
+		t.Fatalf("traces = %d, want 2", len(traces))
+	}
+	// Path: mux (0.5) + splitter excess (0.2) + split loss 10·log10(2).
+	want := 0 - 0.5 - 0.2 - 10*math.Log10(2)
+	for _, tr := range traces {
+		if math.Abs(tr.ReceivedDBm-want) > 1e-9 {
+			t.Fatalf("received %v dBm, want %v", tr.ReceivedDBm, want)
+		}
+	}
+}
+
+func TestTracePowerErrors(t *testing.T) {
+	n := NewNetlist()
+	tx := n.AddComponent(TxArray, "TX[1]", "tx", 0, 1, nil)
+	if _, err := n.TracePower(tx, 0, DefaultPowerModel()); err == nil {
+		t.Fatal("dangling should error")
+	}
+	if _, err := n.TracePower(tx, 9, DefaultPowerModel()); err == nil {
+		t.Fatal("bad beam should error")
+	}
+	mux := n.AddComponent(Mux, "MUX(1)", "m", 1, 1, nil)
+	if _, err := n.TracePower(mux, 0, DefaultPowerModel()); err == nil {
+		t.Fatal("non-tx source should error")
+	}
+}
+
+func TestWorstCasePower(t *testing.T) {
+	n, _, _, _, _ := buildTinyCoupler(t)
+	pm := PowerModel{LaunchDBm: 3, MuxLossDB: 1}
+	worst, err := n.WorstCasePower(pm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 3 - 1 - 10*math.Log10(2)
+	if math.Abs(worst-want) > 1e-9 {
+		t.Fatalf("worst = %v, want %v", worst, want)
+	}
+}
+
+func TestWorstCasePowerNoPaths(t *testing.T) {
+	n := NewNetlist()
+	if _, err := n.WorstCasePower(DefaultPowerModel()); err == nil {
+		t.Fatal("empty design should error")
+	}
+}
+
+// Property: received power never exceeds launch power minus the splitting
+// loss of the splitters traversed, for any non-negative loss model.
+func TestPowerMonotoneProperty(t *testing.T) {
+	f := func(otisL, muxL uint8) bool {
+		pm := PowerModel{
+			LaunchDBm:  0,
+			OTISLossDB: float64(otisL%50) / 10,
+			MuxLossDB:  float64(muxL%50) / 10,
+		}
+		n := NewNetlist()
+		tx := n.AddComponent(TxArray, "TX[1]", "tx", 0, 1, nil)
+		mux := n.AddComponent(Mux, "MUX(1)", "m", 1, 1, nil)
+		spl := n.AddComponent(Splitter, "SPLITTER(4)", "s", 1, 4, nil)
+		rxs := make([]int, 4)
+		for i := range rxs {
+			rxs[i] = n.AddComponent(RxArray, "RX[1]", "r", 1, 0, nil)
+		}
+		n.MustConnect(tx, 0, mux, 0)
+		n.MustConnect(mux, 0, spl, 0)
+		for i, rx := range rxs {
+			n.MustConnect(spl, i, rx, 0)
+		}
+		traces, err := n.TracePower(tx, 0, pm)
+		if err != nil {
+			return false
+		}
+		for _, tr := range traces {
+			if tr.ReceivedDBm > pm.LaunchDBm-10*math.Log10(4)+1e-9 {
+				return false
+			}
+		}
+		return len(traces) == 4
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

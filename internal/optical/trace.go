@@ -1,0 +1,88 @@
+package optical
+
+import "fmt"
+
+// Trace follows the light injected at output port (tx, beam) of a TxArray
+// through the design and returns every RxArray input port it reaches.
+// Multiplexers forward to their single output; splitters fan out to all
+// outputs; OTIS blocks permute; fibers pass through. Reaching a TxArray is
+// a wiring error. The traversal is cycle-safe: a purely passive design
+// cannot loop light back, and if a buggy design does, Trace reports it.
+func (n *Netlist) Trace(tx, beam int) ([]Port, error) {
+	c := n.Component(tx)
+	if c.Kind != TxArray {
+		return nil, fmt.Errorf("optical: %s is not a tx-array", c.Name)
+	}
+	var sinks []Port
+	visited := map[Port]bool{}
+	var follow func(out Port) error
+	follow = func(out Port) error {
+		if visited[out] {
+			return fmt.Errorf("optical: light loop detected at %s:%d",
+				n.Component(out.Comp).Name, out.Port)
+		}
+		visited[out] = true
+		in, ok := n.fromOut[out]
+		if !ok {
+			return fmt.Errorf("optical: dangling output %s:%d",
+				n.Component(out.Comp).Name, out.Port)
+		}
+		d := n.Component(in.Comp)
+		switch d.Kind {
+		case RxArray:
+			sinks = append(sinks, in)
+			return nil
+		case Mux:
+			return follow(Port{d.ID, 0})
+		case Splitter:
+			for p := 0; p < d.NOut; p++ {
+				if err := follow(Port{d.ID, p}); err != nil {
+					return err
+				}
+			}
+			return nil
+		case OTISBlock:
+			return follow(Port{d.ID, d.Perm[in.Port]})
+		case Fiber:
+			return follow(Port{d.ID, 0})
+		case TxArray:
+			return fmt.Errorf("optical: light entering tx-array %s", d.Name)
+		}
+		return fmt.Errorf("optical: unknown component kind %v", d.Kind)
+	}
+	if beam < 0 || beam >= c.NOut {
+		return nil, fmt.Errorf("optical: %s has no beam %d", c.Name, beam)
+	}
+	if err := follow(Port{tx, beam}); err != nil {
+		return nil, err
+	}
+	return sinks, nil
+}
+
+// TraceSummary traces every beam of every TxArray and returns, for each
+// (tx component id, beam), the RxArray component ids reached (ports
+// dropped, duplicates removed). Useful for whole-design verification.
+func (n *Netlist) TraceSummary() (map[Port][]int, error) {
+	out := map[Port][]int{}
+	for _, c := range n.comps {
+		if c.Kind != TxArray {
+			continue
+		}
+		for b := 0; b < c.NOut; b++ {
+			sinks, err := n.Trace(c.ID, b)
+			if err != nil {
+				return nil, fmt.Errorf("tracing %s beam %d: %w", c.Name, b, err)
+			}
+			seen := map[int]bool{}
+			var ids []int
+			for _, s := range sinks {
+				if !seen[s.Comp] {
+					seen[s.Comp] = true
+					ids = append(ids, s.Comp)
+				}
+			}
+			out[Port{c.ID, b}] = ids
+		}
+	}
+	return out, nil
+}

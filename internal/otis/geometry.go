@@ -1,0 +1,65 @@
+package otis
+
+// Free-space geometry model: OTIS(G,T) is realized with two planes of
+// lenses (Fig. 1). Transmitters sit on a line in G blocks of T; the first
+// lens plane carries G lenses, one per transmitter block; the second plane
+// carries T lenses, one per receiver block; receivers sit in T blocks of G.
+// A beam from transmitter (i,j) passes lens i of the first plane and lens
+// T-1-j of the second plane. The model is 1-D (the paper's figures are 1-D
+// projections); it captures which lens pair each beam traverses and lets
+// the renderer in cmd/figures draw the crossing pattern.
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Beam describes one optical path through the two lens planes.
+type Beam struct {
+	// Input position.
+	InGroup, InPos int
+	// Index of the lens traversed in plane 1 (one lens per input group).
+	Lens1 int
+	// Index of the lens traversed in plane 2 (one lens per output group).
+	Lens2 int
+	// Output position.
+	OutGroup, OutPos int
+}
+
+// Beams returns the G·T optical beams of the architecture, in flat input
+// order.
+func (o OTIS) Beams() []Beam {
+	beams := make([]Beam, 0, o.Ports())
+	for i := 0; i < o.G; i++ {
+		for j := 0; j < o.T; j++ {
+			oi, oj := o.Transpose(i, j)
+			beams = append(beams, Beam{
+				InGroup: i, InPos: j,
+				Lens1: i, Lens2: oi,
+				OutGroup: oi, OutPos: oj,
+			})
+		}
+	}
+	return beams
+}
+
+// Lens1Count and Lens2Count return the number of lenses per plane.
+func (o OTIS) Lens1Count() int { return o.G }
+
+// Lens2Count returns the number of lenses in the second plane.
+func (o OTIS) Lens2Count() int { return o.T }
+
+// RenderWiring returns a textual rendering of the transpose wiring in the
+// spirit of Fig. 1: one line per transmitter showing the traversed lenses
+// and the receiver reached. Deterministic, suitable for golden tests.
+func (o OTIS) RenderWiring() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%v: %d transmitters (%d groups of %d) -> %d receivers (%d groups of %d)\n",
+		o, o.Ports(), o.G, o.T, o.Ports(), o.T, o.G)
+	fmt.Fprintf(&b, "lens plane 1: %d lenses, lens plane 2: %d lenses\n", o.Lens1Count(), o.Lens2Count())
+	for _, beam := range o.Beams() {
+		fmt.Fprintf(&b, "  tx(%d,%d) --lens1[%d]--lens2[%d]--> rx(%d,%d)\n",
+			beam.InGroup, beam.InPos, beam.Lens1, beam.Lens2, beam.OutGroup, beam.OutPos)
+	}
+	return b.String()
+}

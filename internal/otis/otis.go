@@ -1,0 +1,112 @@
+// Package otis models the Optical Transpose Interconnection System of
+// Marsden, Marchand, Harvey and Esener (Optics Letters 1993). OTIS(G,T) is
+// a free-space optical system connecting G·T transmitters, arranged as G
+// groups of T, to G·T receivers, arranged as T groups of G: the transmitter
+// of position (i,j) illuminates the receiver of position (T-1-j, G-1-i)
+// through two planes of lenses.
+//
+// The package provides the exact transpose permutation, a simple two-lens-
+// plane geometry model sufficient to render Figure 1, the association of
+// Proposition 1 that turns OTIS(d,n) into the Imase-Itoh digraph II(d,n),
+// and the converse identification (conclusion of the paper) of any
+// OTIS(G,T) with II(G,T).
+package otis
+
+import "fmt"
+
+// OTIS describes an OTIS(G,T) architecture.
+type OTIS struct {
+	G, T int
+}
+
+// New returns the OTIS(G,T) architecture. Both parameters must be >= 1.
+func New(g, t int) OTIS {
+	if g < 1 || t < 1 {
+		panic(fmt.Sprintf("otis: invalid OTIS(%d,%d)", g, t))
+	}
+	return OTIS{G: g, T: t}
+}
+
+// Ports returns the number of inputs (= outputs) G·T.
+func (o OTIS) Ports() int { return o.G * o.T }
+
+// String implements fmt.Stringer: "OTIS(G,T)".
+func (o OTIS) String() string { return fmt.Sprintf("OTIS(%d,%d)", o.G, o.T) }
+
+// Transpose maps an input position (i, j), 0 <= i < G, 0 <= j < T, to its
+// output position (T-1-j, G-1-i). This is the defining optical connection.
+func (o OTIS) Transpose(i, j int) (oi, oj int) {
+	o.checkInput(i, j)
+	return o.T - 1 - j, o.G - 1 - i
+}
+
+// InverseTranspose maps an output position (oi, oj), 0 <= oi < T,
+// 0 <= oj < G, back to the input position illuminating it.
+func (o OTIS) InverseTranspose(oi, oj int) (i, j int) {
+	if oi < 0 || oi >= o.T || oj < 0 || oj >= o.G {
+		panic(fmt.Sprintf("otis: output (%d,%d) out of range for %v", oi, oj, o))
+	}
+	return o.G - 1 - oj, o.T - 1 - oi
+}
+
+func (o OTIS) checkInput(i, j int) {
+	if i < 0 || i >= o.G || j < 0 || j >= o.T {
+		panic(fmt.Sprintf("otis: input (%d,%d) out of range for %v", i, j, o))
+	}
+}
+
+// InputIndex flattens input position (i,j) to i*T + j in [0, G·T).
+func (o OTIS) InputIndex(i, j int) int {
+	o.checkInput(i, j)
+	return i*o.T + j
+}
+
+// InputPosition is the inverse of InputIndex.
+func (o OTIS) InputPosition(e int) (i, j int) {
+	if e < 0 || e >= o.Ports() {
+		panic(fmt.Sprintf("otis: input index %d out of range for %v", e, o))
+	}
+	return e / o.T, e % o.T
+}
+
+// OutputIndex flattens output position (oi,oj) to oi*G + oj in [0, G·T).
+func (o OTIS) OutputIndex(oi, oj int) int {
+	if oi < 0 || oi >= o.T || oj < 0 || oj >= o.G {
+		panic(fmt.Sprintf("otis: output (%d,%d) out of range for %v", oi, oj, o))
+	}
+	return oi*o.G + oj
+}
+
+// OutputPosition is the inverse of OutputIndex.
+func (o OTIS) OutputPosition(s int) (oi, oj int) {
+	if s < 0 || s >= o.Ports() {
+		panic(fmt.Sprintf("otis: output index %d out of range for %v", s, o))
+	}
+	return s / o.G, s % o.G
+}
+
+// Permutation returns the full transpose as a permutation p of [0, G·T):
+// flat input e is wired to flat output p[e].
+func (o OTIS) Permutation() []int {
+	p := make([]int, o.Ports())
+	for e := range p {
+		i, j := o.InputPosition(e)
+		oi, oj := o.Transpose(i, j)
+		p[e] = o.OutputIndex(oi, oj)
+	}
+	return p
+}
+
+// IsPermutation verifies that p is a bijection of [0, len(p)) — the
+// correctness invariant of the optical wiring (no two transmitters
+// illuminate the same receiver).
+func IsPermutation(p []int) bool {
+	seen := make([]bool, len(p))
+	for _, v := range p {
+		if v < 0 || v >= len(p) || seen[v] {
+			return false
+		}
+		seen[v] = true
+	}
+	return true
+}

@@ -1,0 +1,257 @@
+package otis
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"otisnet/internal/imase"
+	"otisnet/internal/kautz"
+)
+
+func TestTransposeDefinition(t *testing.T) {
+	// OTIS(3,6), Fig. 1: input (i,j) -> output (5-j, 2-i).
+	o := New(3, 6)
+	cases := []struct{ i, j, oi, oj int }{
+		{0, 0, 5, 2},
+		{0, 5, 0, 2},
+		{2, 0, 5, 0},
+		{2, 5, 0, 0},
+		{1, 3, 2, 1},
+	}
+	for _, c := range cases {
+		oi, oj := o.Transpose(c.i, c.j)
+		if oi != c.oi || oj != c.oj {
+			t.Errorf("Transpose(%d,%d) = (%d,%d), want (%d,%d)", c.i, c.j, oi, oj, c.oi, c.oj)
+		}
+	}
+}
+
+func TestTransposeInverse(t *testing.T) {
+	o := New(4, 7)
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 7; j++ {
+			oi, oj := o.Transpose(i, j)
+			bi, bj := o.InverseTranspose(oi, oj)
+			if bi != i || bj != j {
+				t.Fatalf("inverse broken at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestNewInvalidPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(0,3) should panic")
+		}
+	}()
+	New(0, 3)
+}
+
+func TestTransposeRangePanics(t *testing.T) {
+	o := New(2, 3)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range input should panic")
+		}
+	}()
+	o.Transpose(2, 0)
+}
+
+func TestIndexRoundTrips(t *testing.T) {
+	o := New(3, 5)
+	for e := 0; e < o.Ports(); e++ {
+		i, j := o.InputPosition(e)
+		if o.InputIndex(i, j) != e {
+			t.Fatalf("input round trip broken at %d", e)
+		}
+	}
+	for s := 0; s < o.Ports(); s++ {
+		oi, oj := o.OutputPosition(s)
+		if o.OutputIndex(oi, oj) != s {
+			t.Fatalf("output round trip broken at %d", s)
+		}
+	}
+}
+
+func TestPermutationIsBijection(t *testing.T) {
+	for _, p := range []struct{ g, t int }{{1, 1}, {3, 6}, {6, 3}, {4, 4}, {2, 9}} {
+		o := New(p.g, p.t)
+		if !IsPermutation(o.Permutation()) {
+			t.Errorf("%v permutation is not a bijection", o)
+		}
+	}
+}
+
+func TestIsPermutationRejects(t *testing.T) {
+	if IsPermutation([]int{0, 0}) {
+		t.Fatal("duplicate image should be rejected")
+	}
+	if IsPermutation([]int{0, 2}) {
+		t.Fatal("out-of-range image should be rejected")
+	}
+	if !IsPermutation(nil) {
+		t.Fatal("empty permutation is a bijection")
+	}
+}
+
+func TestOTISSquareSelfInverse(t *testing.T) {
+	// For square OTIS(n,n) the transpose composed with itself (reading the
+	// output position as an input position) is the identity.
+	o := New(5, 5)
+	p := o.Permutation()
+	for e := range p {
+		if p[p[e]] != e {
+			t.Fatalf("OTIS(n,n) transpose should be an involution; broken at %d", e)
+		}
+	}
+}
+
+func TestString(t *testing.T) {
+	if s := New(3, 12).String(); s != "OTIS(3,12)" {
+		t.Fatalf("String = %q", s)
+	}
+}
+
+func TestBeamsGeometry(t *testing.T) {
+	o := New(3, 6)
+	beams := o.Beams()
+	if len(beams) != 18 {
+		t.Fatalf("beam count = %d, want 18", len(beams))
+	}
+	for _, b := range beams {
+		if b.Lens1 != b.InGroup {
+			t.Fatalf("beam %+v: lens1 must equal input group", b)
+		}
+		if b.Lens2 != b.OutGroup {
+			t.Fatalf("beam %+v: lens2 must equal output group", b)
+		}
+		oi, oj := o.Transpose(b.InGroup, b.InPos)
+		if oi != b.OutGroup || oj != b.OutPos {
+			t.Fatalf("beam %+v inconsistent with transpose", b)
+		}
+	}
+	if o.Lens1Count() != 3 || o.Lens2Count() != 6 {
+		t.Fatal("lens counts wrong")
+	}
+}
+
+func TestRenderWiringFig1(t *testing.T) {
+	out := New(3, 6).RenderWiring()
+	if !strings.Contains(out, "OTIS(3,6)") {
+		t.Fatal("render should name the architecture")
+	}
+	// Spot-check a line: tx(0,0) reaches rx(5,2).
+	if !strings.Contains(out, "tx(0,0) --lens1[0]--lens2[5]--> rx(5,2)") {
+		t.Fatalf("render missing expected beam:\n%s", out)
+	}
+	if got := strings.Count(out, "tx("); got != 18 {
+		t.Fatalf("render should list 18 beams, got %d", got)
+	}
+}
+
+func TestProp1Fig10(t *testing.T) {
+	// Fig. 10: II(3,12) realized with OTIS(3,12).
+	r := NewImaseRealization(3, 12)
+	if err := r.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	// Node 0's beams land on 11, 10, 9 in α order.
+	nbrs := r.NeighborsVia(0)
+	want := []int{11, 10, 9}
+	for i := range want {
+		if nbrs[i] != want[i] {
+			t.Fatalf("NeighborsVia(0) = %v, want %v", nbrs, want)
+		}
+	}
+}
+
+func TestProp1Sweep(t *testing.T) {
+	// Proposition 1 holds for every d, n — sweep a grid.
+	for d := 1; d <= 5; d++ {
+		for n := 1; n <= 30; n++ {
+			if err := NewImaseRealization(d, n).Verify(); err != nil {
+				t.Fatalf("Prop 1 fails for OTIS(%d,%d): %v", d, n, err)
+			}
+		}
+	}
+}
+
+func TestCorollary1KautzViaOTIS(t *testing.T) {
+	// Corollary 1: KG(d,k) = II(d, d^{k-1}(d+1)) realized by
+	// OTIS(d, d^{k-1}(d+1)).
+	for _, p := range []struct{ d, k int }{{2, 2}, {3, 2}, {2, 3}} {
+		n := kautz.N(p.d, p.k)
+		r := NewImaseRealization(p.d, n)
+		if err := r.Verify(); err != nil {
+			t.Fatalf("Corollary 1 fails for d=%d k=%d: %v", p.d, p.k, err)
+		}
+		ii := imase.New(p.d, n)
+		if k, isK := ii.IsKautz(); !isK || k != p.k {
+			t.Fatalf("II(%d,%d) is not KG(%d,%d)", p.d, n, p.d, p.k)
+		}
+	}
+}
+
+func TestNodeInputOutputOwnership(t *testing.T) {
+	r := NewImaseRealization(3, 12)
+	for u := 0; u < 12; u++ {
+		for _, e := range r.InputsOfNode(u) {
+			if r.NodeOfInput(e) != u {
+				t.Fatalf("input %d should belong to node %d", e, u)
+			}
+		}
+		for _, s := range r.OutputsOfNode(u) {
+			if r.NodeOfOutput(s) != u {
+				t.Fatalf("output %d should belong to node %d", s, u)
+			}
+		}
+	}
+}
+
+func TestAsImaseItoh(t *testing.T) {
+	d, n := New(3, 6).AsImaseItoh()
+	if d != 3 || n != 6 {
+		t.Fatalf("AsImaseItoh = (%d,%d), want (3,6)", d, n)
+	}
+	// The identification must itself satisfy Prop 1.
+	if err := NewImaseRealization(d, n).Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Prop 1 holds for random (d, n) pairs — the quick.Check version
+// of the sweep, exploring larger orders.
+func TestProp1Property(t *testing.T) {
+	f := func(du, nu uint8) bool {
+		d := 1 + int(du)%6
+		n := 1 + int(nu)%120
+		return NewImaseRealization(d, n).Verify() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the transpose permutation is an anti-involution in the sense
+// that OTIS(G,T) followed by OTIS(T,G) is the identity on flat indices.
+func TestTransposeComposeProperty(t *testing.T) {
+	f := func(gu, tu uint8) bool {
+		g := 1 + int(gu)%8
+		tt := 1 + int(tu)%8
+		a := New(g, tt)
+		b := New(tt, g)
+		pa := a.Permutation()
+		pb := b.Permutation()
+		for e := range pa {
+			if pb[pa[e]] != e {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,110 @@
+package otis
+
+// Proposition 1 of the paper: the optical interconnections of the
+// Imase-Itoh digraph II(d,n) are perfectly realized by OTIS(d,n).
+//
+// The association (§3.2):
+//   - input e = (i,j) of OTIS(d,n) belongs to node u = ⌊(n·i + j)/d⌋, i.e.
+//     node u owns the d consecutive flat inputs d·u, d·u+1, ..., d·u+d-1;
+//   - output s = (oi, oj) belongs to node v = oi, i.e. node v owns the d
+//     consecutive flat outputs d·v, ..., d·v+d-1 (in paper notation,
+//     node v is associated to outputs (v, d-α) for α = 1..d).
+// Then the beam leaving node u's α-th input lands on node
+// (-d·u - α) mod n — exactly the Imase-Itoh neighborhood.
+
+import (
+	"fmt"
+
+	"otisnet/internal/imase"
+)
+
+// ImaseRealization is an OTIS(d,n) architecture together with the
+// Proposition 1 node association.
+type ImaseRealization struct {
+	O    OTIS
+	D, N int
+}
+
+// NewImaseRealization returns the OTIS(d,n) realization of II(d,n).
+func NewImaseRealization(d, n int) ImaseRealization {
+	return ImaseRealization{O: New(d, n), D: d, N: n}
+}
+
+// NodeOfInput returns the II node owning flat input e: ⌊e/d⌋.
+func (r ImaseRealization) NodeOfInput(e int) int {
+	if e < 0 || e >= r.O.Ports() {
+		panic(fmt.Sprintf("otis: input %d out of range", e))
+	}
+	return e / r.D
+}
+
+// InputsOfNode returns the d flat inputs owned by node u, in α order
+// (α = 1..d gives flat inputs d·u+α-1).
+func (r ImaseRealization) InputsOfNode(u int) []int {
+	if u < 0 || u >= r.N {
+		panic(fmt.Sprintf("otis: node %d out of range", u))
+	}
+	in := make([]int, r.D)
+	for a := 0; a < r.D; a++ {
+		in[a] = r.D*u + a
+	}
+	return in
+}
+
+// NodeOfOutput returns the II node owning flat output s: the output group
+// index ⌊s/d⌋ (outputs come in n groups of d).
+func (r ImaseRealization) NodeOfOutput(s int) int {
+	if s < 0 || s >= r.O.Ports() {
+		panic(fmt.Sprintf("otis: output %d out of range", s))
+	}
+	return s / r.D
+}
+
+// OutputsOfNode returns the d flat outputs owned by node v.
+func (r ImaseRealization) OutputsOfNode(v int) []int {
+	if v < 0 || v >= r.N {
+		panic(fmt.Sprintf("otis: node %d out of range", v))
+	}
+	out := make([]int, r.D)
+	for a := 0; a < r.D; a++ {
+		out[a] = r.D*v + a
+	}
+	return out
+}
+
+// NeighborsVia returns the nodes reached from node u through the OTIS
+// transpose, in α order (the beam from input d·u+α-1 first).
+func (r ImaseRealization) NeighborsVia(u int) []int {
+	nbrs := make([]int, r.D)
+	for a, e := range r.InputsOfNode(u) {
+		i, j := r.O.InputPosition(e)
+		oi, oj := r.O.Transpose(i, j)
+		nbrs[a] = r.NodeOfOutput(r.O.OutputIndex(oi, oj))
+	}
+	return nbrs
+}
+
+// Verify checks Proposition 1 exactly: for every node u, the OTIS-induced
+// neighborhood equals the Imase-Itoh arithmetic neighborhood
+// (-d·u-α mod n, α = 1..d) as a sequence. Returns nil on success.
+func (r ImaseRealization) Verify() error {
+	for u := 0; u < r.N; u++ {
+		got := r.NeighborsVia(u)
+		want := imase.Neighbors(r.D, r.N, u)
+		if len(got) != len(want) {
+			return fmt.Errorf("otis: node %d: %d beams, want %d", u, len(got), len(want))
+		}
+		for a := range want {
+			if got[a] != want[a] {
+				return fmt.Errorf("otis: node %d input α=%d reaches %d, want %d (II(%d,%d))",
+					u, a+1, got[a], want[a], r.D, r.N)
+			}
+		}
+	}
+	return nil
+}
+
+// AsImaseItoh identifies the architecture with an Imase-Itoh digraph
+// (conclusion of the paper): OTIS(G,T) is the optical layer of II(G,T).
+// It returns the parameters (d, n) = (G, T) of that graph.
+func (o OTIS) AsImaseItoh() (d, n int) { return o.G, o.T }

@@ -1,0 +1,52 @@
+package otis
+
+import (
+	"testing"
+
+	"otisnet/internal/imase"
+	"otisnet/internal/kautz"
+)
+
+// Proposition 1 at deployment scale: the Kautz orders the paper's §2.5
+// example gestures at. Verification is pure arithmetic (O(n·d)), so even
+// KG(5,5)-scale OTIS(5,3750) is instant.
+func TestProp1AtScale(t *testing.T) {
+	cases := []struct{ d, k int }{
+		{5, 4}, // 750 nodes (the paper's corrected example)
+		{5, 5}, // 3750 nodes (the figure the paper printed)
+		{4, 5}, // 1280 nodes
+		{3, 7}, // 2916 nodes
+	}
+	for _, c := range cases {
+		n := kautz.N(c.d, c.k)
+		r := NewImaseRealization(c.d, n)
+		if err := r.Verify(); err != nil {
+			t.Errorf("Prop 1 fails for OTIS(%d,%d) realizing KG(%d,%d): %v",
+				c.d, n, c.d, c.k, err)
+		}
+		if _, ok := imase.KautzOrder(c.d, n); !ok {
+			t.Errorf("%d should be a Kautz order for d=%d", n, c.d)
+		}
+	}
+}
+
+// The full KG(5,4) digraph (750 nodes, 3750 arcs) built from labels agrees
+// with the II(5,750) arithmetic neighborhoods under Prop 1's numbering —
+// structural spot-check at scale without an (expensive) isomorphism run:
+// both are 5-regular with diameter 4 and the same arc count.
+func TestKautzIIStructuralAgreementAtScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scale test")
+	}
+	kg := kautz.New(5, 4)
+	ii := imase.New(5, 750)
+	if kg.N() != ii.N() || kg.Digraph().M() != ii.Digraph().M() {
+		t.Fatal("order/size mismatch")
+	}
+	if !kg.Digraph().IsRegular(5) || !ii.Digraph().IsRegular(5) {
+		t.Fatal("regularity mismatch")
+	}
+	if kg.Digraph().Diameter() != 4 || ii.Digraph().Diameter() != 4 {
+		t.Fatal("diameter mismatch")
+	}
+}

@@ -1,0 +1,137 @@
+// Package otisnets implements the OTIS-based electronic interconnection
+// networks of Zane, Marchand, Paturi and Esener (reference [24], "Scalable
+// Network Architectures Using the Optical Transpose Interconnection
+// System"), which §2.1 of the paper recalls: G² processors arranged as G
+// groups of G, with intra-group edges given by a factor network on G
+// vertices (hypercube, mesh, ...) and inter-group "optical" edges given by
+// the OTIS transpose (i,j) <-> (j,i).
+//
+// The conclusion of the paper observes that the OTIS architecture *is* the
+// Imase-Itoh graph, so properties of these networks can be studied through
+// II(G,T); OTISTransposeDigraph makes that identification testable.
+package otisnets
+
+import (
+	"fmt"
+
+	"otisnet/internal/digraph"
+)
+
+// Network is an OTIS-G(factor) network: G² vertices (g, p) with g the
+// group and p the position, both in [0, G).
+type Network struct {
+	g      int
+	factor *digraph.Digraph
+	d      *digraph.Digraph
+}
+
+// New builds the OTIS network over the given factor graph (the factor's
+// vertex count G gives G groups of G processors). Intra-group arcs follow
+// the factor graph on positions; inter-group transpose arcs connect (g, p)
+// to (p, g) for g != p — both directions, as in [24] where transpose links
+// are bidirectional optical pairs.
+func New(factor *digraph.Digraph) *Network {
+	g := factor.N()
+	n := &Network{g: g, factor: factor, d: digraph.New(g * g)}
+	for grp := 0; grp < g; grp++ {
+		for _, a := range factor.Arcs() {
+			n.d.AddArc(n.ID(grp, a[0]), n.ID(grp, a[1]))
+		}
+	}
+	for grp := 0; grp < g; grp++ {
+		for p := 0; p < g; p++ {
+			if grp != p {
+				n.d.AddArc(n.ID(grp, p), n.ID(p, grp))
+			}
+		}
+	}
+	return n
+}
+
+// G returns the group count (= group size).
+func (n *Network) G() int { return n.g }
+
+// N returns the processor count G².
+func (n *Network) N() int { return n.g * n.g }
+
+// Digraph returns the underlying digraph (treat as read-only).
+func (n *Network) Digraph() *digraph.Digraph { return n.d }
+
+// Factor returns the factor network.
+func (n *Network) Factor() *digraph.Digraph { return n.factor }
+
+// ID maps (group, position) to a vertex id.
+func (n *Network) ID(group, pos int) int {
+	if group < 0 || group >= n.g || pos < 0 || pos >= n.g {
+		panic(fmt.Sprintf("otisnets: invalid node (%d,%d)", group, pos))
+	}
+	return group*n.g + pos
+}
+
+// Node maps a vertex id to (group, position).
+func (n *Network) Node(id int) (group, pos int) {
+	if id < 0 || id >= n.N() {
+		panic(fmt.Sprintf("otisnets: invalid id %d", id))
+	}
+	return id / n.g, id % n.g
+}
+
+// TransposeArcs returns the number of inter-group (optical) arcs:
+// G·(G-1), i.e. one per ordered pair of distinct groups.
+func (n *Network) TransposeArcs() int { return n.g * (n.g - 1) }
+
+// NewHypercubeFactor returns the dim-dimensional hypercube as a factor
+// graph (2^dim vertices, arcs both directions).
+func NewHypercubeFactor(dim int) *digraph.Digraph {
+	g := digraph.New(1 << dim)
+	for u := 0; u < g.N(); u++ {
+		for b := 0; b < dim; b++ {
+			g.AddArc(u, u^(1<<b))
+		}
+	}
+	return g
+}
+
+// NewMeshFactor returns the rows×cols mesh as a factor graph (arcs both
+// directions). For the square OTIS-Mesh of [24], use rows == cols.
+func NewMeshFactor(rows, cols int) *digraph.Digraph {
+	g := digraph.New(rows * cols)
+	id := func(r, c int) int { return r*cols + c }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				g.AddArc(id(r, c), id(r, c+1))
+				g.AddArc(id(r, c+1), id(r, c))
+			}
+			if r+1 < rows {
+				g.AddArc(id(r, c), id(r+1, c))
+				g.AddArc(id(r+1, c), id(r, c))
+			}
+		}
+	}
+	return g
+}
+
+// OTISTransposeDigraph returns just the transpose arcs of an OTIS network
+// over G groups, as a digraph on G² vertices: (g,p) -> (p,g) for g != p.
+// This is the "optical layer" the paper's conclusion identifies with an
+// Imase-Itoh-style structure; it is a perfect matching-with-direction on
+// the off-diagonal vertices, and an involution.
+func OTISTransposeDigraph(g int) *digraph.Digraph {
+	d := digraph.New(g * g)
+	for grp := 0; grp < g; grp++ {
+		for p := 0; p < g; p++ {
+			if grp != p {
+				d.AddArc(grp*g+p, p*g+grp)
+			}
+		}
+	}
+	return d
+}
+
+// DiameterUpperBound returns the [24] bound on the OTIS network diameter
+// in terms of the factor diameter df: 2·df + 1 (factor route, transpose,
+// factor route, with one extra transpose in the worst case).
+func DiameterUpperBound(factorDiameter int) int {
+	return 2*factorDiameter + 1
+}

@@ -1,0 +1,158 @@
+package otisnets
+
+import (
+	"testing"
+	"testing/quick"
+
+	"otisnet/internal/digraph"
+)
+
+func TestOTISHypercubeShape(t *testing.T) {
+	// OTIS-Hypercube over Q2 (4 groups of 4): 16 processors.
+	n := New(NewHypercubeFactor(2))
+	if n.N() != 16 || n.G() != 4 {
+		t.Fatalf("N=%d G=%d, want 16, 4", n.N(), n.G())
+	}
+	// Arcs: G * factor arcs + transpose arcs = 4*8 + 12 = 44.
+	if n.Digraph().M() != 44 {
+		t.Fatalf("arcs = %d, want 44", n.Digraph().M())
+	}
+	if n.TransposeArcs() != 12 {
+		t.Fatalf("transpose arcs = %d, want 12", n.TransposeArcs())
+	}
+}
+
+func TestIDNodeRoundTrip(t *testing.T) {
+	n := New(NewMeshFactor(2, 2))
+	for id := 0; id < n.N(); id++ {
+		g, p := n.Node(id)
+		if n.ID(g, p) != id {
+			t.Fatalf("round trip broken at %d", id)
+		}
+	}
+}
+
+func TestIDPanics(t *testing.T) {
+	n := New(NewMeshFactor(2, 2))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out of range should panic")
+		}
+	}()
+	n.ID(4, 0)
+}
+
+func TestOTISNetworkConnected(t *testing.T) {
+	for _, f := range []*digraph.Digraph{
+		NewHypercubeFactor(2),
+		NewHypercubeFactor(3),
+		NewMeshFactor(2, 3),
+		NewMeshFactor(3, 3),
+	} {
+		n := New(f)
+		if !n.Digraph().IsStronglyConnected() {
+			t.Fatalf("OTIS network over %d-vertex factor not connected", f.N())
+		}
+	}
+}
+
+func TestDiameterBound24(t *testing.T) {
+	// [24]: diameter of OTIS-G(factor) is at most 2*df + 1.
+	cases := []*digraph.Digraph{
+		NewHypercubeFactor(2), // df=2
+		NewHypercubeFactor(3), // df=3
+		NewMeshFactor(2, 2),   // df=2
+		NewMeshFactor(3, 3),   // df=4
+	}
+	for _, f := range cases {
+		df := f.Diameter()
+		n := New(f)
+		diam := n.Digraph().Diameter()
+		if diam > DiameterUpperBound(df) {
+			t.Fatalf("diameter %d exceeds 2*%d+1", diam, df)
+		}
+		if diam < df {
+			t.Fatalf("OTIS network diameter %d below factor diameter %d?!", diam, df)
+		}
+	}
+}
+
+func TestOTISHypercubeDiameterExact(t *testing.T) {
+	// Known result for OTIS-Hypercube over Q_h: diameter 2h+1.
+	for h := 1; h <= 3; h++ {
+		n := New(NewHypercubeFactor(h))
+		if d := n.Digraph().Diameter(); d != 2*h+1 {
+			t.Fatalf("OTIS-Q%d diameter = %d, want %d", h, d, 2*h+1)
+		}
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	// The transpose layer is an involution: following two transpose arcs
+	// returns to the start.
+	g := 5
+	d := OTISTransposeDigraph(g)
+	for u := 0; u < d.N(); u++ {
+		out := d.Out(u)
+		if len(out) == 0 {
+			continue // diagonal vertex
+		}
+		if len(out) != 1 {
+			t.Fatalf("vertex %d has %d transpose arcs, want 1", u, len(out))
+		}
+		v := out[0]
+		if w := d.Out(v); len(w) != 1 || w[0] != u {
+			t.Fatalf("transpose not involutive at %d", u)
+		}
+	}
+	// Diagonal vertices (g,g) have no transpose arc: exactly g of them.
+	isolated := 0
+	for u := 0; u < d.N(); u++ {
+		if len(d.Out(u)) == 0 {
+			isolated++
+		}
+	}
+	if isolated != g {
+		t.Fatalf("isolated diagonal vertices = %d, want %d", isolated, g)
+	}
+}
+
+func TestTransposeMatchesOTISPermutationSemantics(t *testing.T) {
+	// (g,p) -> (p,g) is exactly the "swap" reading of the OTIS transpose
+	// for square OTIS(G,G) up to the reflection convention of [19]; the
+	// composition property (double transpose = identity) is what [24]'s
+	// move sequences rely on and is checked in TestTransposeInvolution.
+	// Here: every non-diagonal vertex has exactly one optical neighbor.
+	d := OTISTransposeDigraph(4)
+	if d.M() != 12 {
+		t.Fatalf("arcs = %d, want 12", d.M())
+	}
+}
+
+// Property: for random factor graphs (strongly connected), the OTIS
+// network is strongly connected and its diameter respects the 2df+1 bound.
+func TestOTISNetworkBoundProperty(t *testing.T) {
+	f := func(nu, seed uint8) bool {
+		g := 2 + int(nu)%4
+		// Cycle + chords: strongly connected factor.
+		fac := digraph.Cycle(g)
+		state := uint64(seed)
+		for i := 0; i < g; i++ {
+			state = state*6364136223846793005 + 1442695040888963407
+			u := int(state % uint64(g))
+			state = state*6364136223846793005 + 1442695040888963407
+			v := int(state % uint64(g))
+			if u != v {
+				fac.AddArc(u, v)
+			}
+		}
+		n := New(fac)
+		if !n.Digraph().IsStronglyConnected() {
+			return false
+		}
+		return n.Digraph().Diameter() <= DiameterUpperBound(fac.Diameter())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

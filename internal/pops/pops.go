@@ -1,0 +1,126 @@
+// Package pops implements the Partitioned Optical Passive Star network
+// POPS(t,g) of Chiarulli et al. (§2.4 of the paper): N = t·g processors in
+// g groups of t, with g² single-wavelength OPS couplers of degree t; the
+// input of coupler (i,j) is driven by group i and its output feeds group j.
+// POPS is single-hop: every processor reaches every other in one optical
+// hop. Following Berthomé and Ferreira, the network is modeled as the
+// stack-graph ς(t, K⁺_g) (Fig. 5), which is how the optical design engine
+// in package core verifies its OTIS realization.
+package pops
+
+import (
+	"fmt"
+
+	"otisnet/internal/digraph"
+	"otisnet/internal/hypergraph"
+)
+
+// Network is a POPS(t,g) network.
+type Network struct {
+	t, g int
+	sg   *hypergraph.StackGraph
+}
+
+// New constructs POPS(t,g): g groups of t processors, g² couplers.
+func New(t, g int) *Network {
+	if t < 1 || g < 1 {
+		panic(fmt.Sprintf("pops: invalid POPS(%d,%d)", t, g))
+	}
+	return &Network{t: t, g: g, sg: hypergraph.NewStackGraph(t, digraph.CompleteWithLoops(g))}
+}
+
+// T returns the group size t (also the coupler degree).
+func (p *Network) T() int { return p.t }
+
+// G returns the number of groups g.
+func (p *Network) G() int { return p.g }
+
+// N returns the number of processors t·g.
+func (p *Network) N() int { return p.t * p.g }
+
+// Couplers returns the number of OPS couplers, g².
+func (p *Network) Couplers() int { return p.g * p.g }
+
+// StackGraph returns the ς(t, K⁺_g) model of the network.
+func (p *Network) StackGraph() *hypergraph.StackGraph { return p.sg }
+
+// NodeID maps (group, member) to a flat processor id.
+func (p *Network) NodeID(group, member int) int {
+	return p.sg.NodeID(hypergraph.StackNode{Group: group, Member: member})
+}
+
+// Node maps a flat processor id to (group, member).
+func (p *Network) Node(id int) (group, member int) {
+	n := p.sg.Node(id)
+	return n.Group, n.Member
+}
+
+// CouplerIndex returns the hyperarc index of coupler (i,j): input side
+// group i, output side group j.
+func (p *Network) CouplerIndex(i, j int) int {
+	if i < 0 || i >= p.g || j < 0 || j >= p.g {
+		panic(fmt.Sprintf("pops: coupler (%d,%d) out of range", i, j))
+	}
+	return p.sg.HyperarcFor(i, j)
+}
+
+// CouplerLabel returns the (i,j) label of hyperarc index c — the inverse of
+// CouplerIndex.
+func (p *Network) CouplerLabel(c int) (i, j int) {
+	return p.sg.BaseArcOf(c)
+}
+
+// CouplerFor returns the coupler a processor of group src uses to reach
+// group dst: coupler (src, dst).
+func (p *Network) CouplerFor(src, dst int) int { return p.CouplerIndex(src, dst) }
+
+// Route returns the single-hop route between two processors: the coupler
+// (srcGroup, dstGroup) and the fact that exactly one slot is needed. POPS
+// being single-hop, the result is always a 2-node route (or 1 node when
+// src == dst).
+func (p *Network) Route(src, dst int) []int {
+	return p.sg.Route(src, dst)
+}
+
+// OneToAllSlots returns the number of time slots a single processor needs
+// to broadcast to all N processors. Driving one coupler reaches a whole
+// destination group, so a processor that may fire one beam per slot needs g
+// slots; a processor allowed to fire all its g beams simultaneously
+// (simultaneous == true) needs 1.
+func (p *Network) OneToAllSlots(simultaneous bool) int {
+	if simultaneous {
+		return 1
+	}
+	return p.g
+}
+
+// BroadcastSchedule returns, slot by slot, the couplers a source processor
+// drives to reach every processor, assuming one beam per slot: coupler
+// (srcGroup, j) at slot j.
+func (p *Network) BroadcastSchedule(src int) [][2]int {
+	sg, _ := p.Node(src)
+	sched := make([][2]int, p.g)
+	for j := 0; j < p.g; j++ {
+		sched[j] = [2]int{sg, j}
+	}
+	return sched
+}
+
+// AllToAllPersonalizedLowerBound returns the minimum number of slots for an
+// all-to-all personalized exchange: N·(N-1) messages must cross g² couplers
+// delivering at most one distinct personalized message... each slot moves at
+// most g² messages usefully toward distinct destinations, but a coupler
+// broadcast serves at most one personalized message, so the bound is
+// ⌈N(N-1)/g²⌉ slots.
+func (p *Network) AllToAllPersonalizedLowerBound() int {
+	n := p.N()
+	msgs := n * (n - 1)
+	c := p.Couplers()
+	return (msgs + c - 1) / c
+}
+
+// GroupGossipSlots returns the number of slots for every group to hear from
+// every other group when each group may drive all its g output couplers at
+// once (group-level gossip): 1 slot, since K⁺_g is complete — a structural
+// restatement of "POPS is single-hop".
+func (p *Network) GroupGossipSlots() int { return 1 }

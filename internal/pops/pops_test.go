@@ -1,0 +1,209 @@
+package pops
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestParametersFig4(t *testing.T) {
+	// Fig. 4: POPS(4,2) has 8 nodes and 4 couplers of degree 4.
+	p := New(4, 2)
+	if p.N() != 8 || p.Couplers() != 4 || p.T() != 4 || p.G() != 2 {
+		t.Fatalf("POPS(4,2): N=%d couplers=%d", p.N(), p.Couplers())
+	}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			c := p.CouplerIndex(i, j)
+			if p.StackGraph().Hyperarc(c).Degree() != 4 {
+				t.Fatalf("coupler (%d,%d) degree != 4", i, j)
+			}
+		}
+	}
+}
+
+func TestNewInvalidPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("POPS(0,1) should panic")
+		}
+	}()
+	New(0, 1)
+}
+
+func TestStackModelFig5(t *testing.T) {
+	// Fig. 5: POPS(4,2) is ς(4, K+2): base complete with loops, 4 hyperarcs.
+	p := New(4, 2)
+	sg := p.StackGraph()
+	if sg.StackingFactor() != 4 || sg.Groups() != 2 {
+		t.Fatal("stack model parameters wrong")
+	}
+	if sg.Base().M() != 4 || sg.Base().LoopCount() != 2 {
+		t.Fatal("base must be K+2 (4 arcs incl. 2 loops)")
+	}
+}
+
+func TestSingleHopDiameter(t *testing.T) {
+	for _, pr := range []struct{ t, g int }{{4, 2}, {3, 3}, {8, 4}, {1, 5}} {
+		p := New(pr.t, pr.g)
+		if d := p.StackGraph().Diameter(); d != 1 {
+			t.Errorf("POPS(%d,%d) diameter = %d, want 1 (single-hop)", pr.t, pr.g, d)
+		}
+	}
+}
+
+func TestNodeIDRoundTrip(t *testing.T) {
+	p := New(4, 3)
+	for id := 0; id < p.N(); id++ {
+		g, m := p.Node(id)
+		if p.NodeID(g, m) != id {
+			t.Fatalf("round trip broken at %d", id)
+		}
+	}
+}
+
+func TestCouplerLabelRoundTrip(t *testing.T) {
+	p := New(2, 3)
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			c := p.CouplerIndex(i, j)
+			gi, gj := p.CouplerLabel(c)
+			if gi != i || gj != j {
+				t.Fatalf("coupler label round trip (%d,%d) -> %d -> (%d,%d)", i, j, c, gi, gj)
+			}
+		}
+	}
+}
+
+func TestCouplerIndexPanics(t *testing.T) {
+	p := New(2, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range coupler should panic")
+		}
+	}()
+	p.CouplerIndex(2, 0)
+}
+
+func TestRouteSingleHop(t *testing.T) {
+	p := New(4, 2)
+	r := p.Route(p.NodeID(0, 1), p.NodeID(1, 3))
+	if len(r) != 2 {
+		t.Fatalf("route = %v, want one hop", r)
+	}
+	if !p.StackGraph().ValidRoute(r) {
+		t.Fatal("invalid route")
+	}
+	// Same node: trivial route.
+	if r := p.Route(3, 3); len(r) != 1 {
+		t.Fatalf("self route = %v", r)
+	}
+	// Same group uses the loop coupler: still one hop.
+	if r := p.Route(p.NodeID(1, 0), p.NodeID(1, 2)); len(r) != 2 {
+		t.Fatalf("intra-group route = %v, want one hop", r)
+	}
+}
+
+func TestOneToAllSlots(t *testing.T) {
+	p := New(4, 3)
+	if p.OneToAllSlots(false) != 3 {
+		t.Fatal("sequential broadcast should take g slots")
+	}
+	if p.OneToAllSlots(true) != 1 {
+		t.Fatal("simultaneous broadcast should take 1 slot")
+	}
+}
+
+func TestBroadcastSchedule(t *testing.T) {
+	p := New(4, 3)
+	src := p.NodeID(2, 1)
+	sched := p.BroadcastSchedule(src)
+	if len(sched) != 3 {
+		t.Fatalf("schedule length = %d, want g=3", len(sched))
+	}
+	seen := map[int]bool{}
+	for _, cp := range sched {
+		if cp[0] != 2 {
+			t.Fatalf("broadcast must use own group's couplers, got %v", cp)
+		}
+		seen[cp[1]] = true
+	}
+	if len(seen) != 3 {
+		t.Fatal("broadcast must cover all destination groups")
+	}
+}
+
+func TestAllToAllLowerBound(t *testing.T) {
+	p := New(4, 2)
+	// N=8: 56 messages over 4 couplers -> 14 slots.
+	if lb := p.AllToAllPersonalizedLowerBound(); lb != 14 {
+		t.Fatalf("lower bound = %d, want 14", lb)
+	}
+}
+
+func TestGroupGossipSlots(t *testing.T) {
+	if New(3, 5).GroupGossipSlots() != 1 {
+		t.Fatal("group gossip is 1 slot on a complete base")
+	}
+}
+
+// Property: POPS invariants for random parameters — N = tg, couplers = g²,
+// degree per node (out and in) = g in the stack model, diameter 1.
+func TestPOPSInvariantsProperty(t *testing.T) {
+	f := func(tu, gu uint8) bool {
+		tt := 1 + int(tu)%6
+		g := 1 + int(gu)%5
+		p := New(tt, g)
+		if p.N() != tt*g || p.Couplers() != g*g {
+			return false
+		}
+		sg := p.StackGraph()
+		for v := 0; v < sg.N(); v++ {
+			if sg.OutDegree(v) != g || sg.InDegree(v) != g {
+				return false
+			}
+		}
+		if p.N() == 1 {
+			return sg.Diameter() == 0
+		}
+		return sg.Diameter() == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: every processor pair is joined by the coupler (srcGroup,
+// dstGroup): Route always uses exactly that hyperarc.
+func TestRouteUsesCorrectCouplerProperty(t *testing.T) {
+	p := New(3, 4)
+	f := func(a, b uint8) bool {
+		src := int(a) % p.N()
+		dst := int(b) % p.N()
+		if src == dst {
+			return true
+		}
+		r := p.Route(src, dst)
+		if len(r) != 2 || !p.StackGraph().ValidRoute(r) {
+			return false
+		}
+		sgrp, _ := p.Node(src)
+		dgrp, _ := p.Node(dst)
+		c := p.CouplerFor(sgrp, dgrp)
+		arc := p.StackGraph().Hyperarc(c)
+		inTail, inHead := false, false
+		for _, v := range arc.Tail {
+			if v == src {
+				inTail = true
+			}
+		}
+		for _, v := range arc.Head {
+			if v == dst {
+				inHead = true
+			}
+		}
+		return inTail && inHead
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}

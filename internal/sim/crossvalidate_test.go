@@ -1,0 +1,59 @@
+package sim
+
+// Cross-validation of the simulator against closed-form topology metrics:
+// under vanishing load there is no queueing, so the measured mean hop
+// count of delivered messages must converge to the analytic mean distance
+// between distinct node pairs of the underlying reachability digraph.
+
+import (
+	"math"
+	"testing"
+
+	"otisnet/internal/pops"
+	"otisnet/internal/stackkautz"
+)
+
+func lightLoadAvgHops(t *testing.T, topo Topology) float64 {
+	t.Helper()
+	m := Run(topo, UniformTraffic{Rate: 0.01}, 30000, 500, Config{Seed: 123})
+	if m.Delivered < 1000 {
+		t.Fatalf("not enough deliveries for a stable estimate: %d", m.Delivered)
+	}
+	return m.AvgHops()
+}
+
+func TestLightLoadHopsMatchAnalyticPOPS(t *testing.T) {
+	p := pops.New(4, 4)
+	topo := NewStackTopology(p.StackGraph())
+	analytic := p.StackGraph().UnderlyingDigraph().AverageDistance()
+	if analytic != 1 {
+		t.Fatalf("POPS analytic mean distance = %v, want 1", analytic)
+	}
+	got := lightLoadAvgHops(t, topo)
+	if got != 1 {
+		t.Fatalf("POPS light-load hops = %v, want exactly 1", got)
+	}
+}
+
+func TestLightLoadHopsMatchAnalyticSK(t *testing.T) {
+	sk := stackkautz.New(4, 2, 2)
+	topo := NewStackTopology(sk.StackGraph())
+	analytic := sk.StackGraph().UnderlyingDigraph().AverageDistance()
+	got := lightLoadAvgHops(t, topo)
+	// Statistical estimate: within 5% of the analytic mean.
+	if math.Abs(got-analytic)/analytic > 0.05 {
+		t.Fatalf("SK light-load hops %v deviates from analytic %v", got, analytic)
+	}
+}
+
+func TestLightLoadLatencyNearHops(t *testing.T) {
+	// Without queueing, latency per message ~= hop count (each hop is one
+	// slot). Allow modest slack for occasional collisions.
+	sk := stackkautz.New(4, 2, 2)
+	topo := NewStackTopology(sk.StackGraph())
+	m := Run(topo, UniformTraffic{Rate: 0.01}, 20000, 500, Config{Seed: 77})
+	if m.AvgLatency() > 1.2*m.AvgHops() {
+		t.Fatalf("light-load latency %v >> hops %v: unexpected queueing",
+			m.AvgLatency(), m.AvgHops())
+	}
+}

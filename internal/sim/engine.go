@@ -1,0 +1,284 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Message is an in-flight unicast message.
+type Message struct {
+	ID   int
+	Src  int
+	Dst  int
+	Born int // injection slot
+	Hops int
+}
+
+// Config controls a simulation run.
+type Config struct {
+	// Seed seeds the private RNG (deterministic runs).
+	Seed int64
+	// MaxQueue caps each node's FIFO; 0 means unbounded. Injections and
+	// relays beyond the cap are dropped and counted.
+	MaxQueue int
+	// Deflection enables hot-potato routing: messages that lose coupler
+	// arbitration are deflected onto any free coupler of their node instead
+	// of waiting. With deflection, queues only hold locally injected
+	// messages awaiting the first transmission.
+	Deflection bool
+	// Wavelengths is the number of wavelengths per coupler (WDM extension;
+	// the paper's networks are single-wavelength). Each coupler carries up
+	// to this many simultaneous messages per slot. 0 means 1.
+	Wavelengths int
+}
+
+// wavelengths returns the effective per-coupler capacity.
+func (c Config) wavelengths() int {
+	if c.Wavelengths < 1 {
+		return 1
+	}
+	return c.Wavelengths
+}
+
+// Metrics accumulates run statistics.
+type Metrics struct {
+	Slots        int
+	Injected     int
+	Delivered    int
+	Dropped      int
+	Deflections  int
+	TotalLatency int // sum over delivered of (deliverySlot - Born)
+	TotalHops    int // sum over delivered of hop count
+	PeakQueue    int // max FIFO length observed
+	Backlog      int // messages still queued at the end
+}
+
+// AvgLatency returns mean delivery latency in slots (0 when nothing was
+// delivered).
+func (m Metrics) AvgLatency() float64 {
+	if m.Delivered == 0 {
+		return 0
+	}
+	return float64(m.TotalLatency) / float64(m.Delivered)
+}
+
+// AvgHops returns mean hop count of delivered messages.
+func (m Metrics) AvgHops() float64 {
+	if m.Delivered == 0 {
+		return 0
+	}
+	return float64(m.TotalHops) / float64(m.Delivered)
+}
+
+// Throughput returns delivered messages per slot.
+func (m Metrics) Throughput() float64 {
+	if m.Slots == 0 {
+		return 0
+	}
+	return float64(m.Delivered) / float64(m.Slots)
+}
+
+// String summarizes the metrics on one line.
+func (m Metrics) String() string {
+	return fmt.Sprintf("slots=%d injected=%d delivered=%d dropped=%d backlog=%d thr=%.3f/slot lat=%.2f hops=%.2f peakQ=%d defl=%d",
+		m.Slots, m.Injected, m.Delivered, m.Dropped, m.Backlog,
+		m.Throughput(), m.AvgLatency(), m.AvgHops(), m.PeakQueue, m.Deflections)
+}
+
+// Engine simulates a Topology slot by slot.
+type Engine struct {
+	topo   Topology
+	cfg    Config
+	rng    *rand.Rand
+	queues [][]Message
+	// rr holds per-coupler round-robin grant cursors for fairness.
+	rr      []int
+	nextID  int
+	slot    int
+	metrics Metrics
+}
+
+// NewEngine prepares a simulation over the topology.
+func NewEngine(topo Topology, cfg Config) *Engine {
+	return &Engine{
+		topo:   topo,
+		cfg:    cfg,
+		rng:    rand.New(rand.NewSource(cfg.Seed)),
+		queues: make([][]Message, topo.Nodes()),
+		rr:     make([]int, topo.Couplers()),
+	}
+}
+
+// Metrics returns a snapshot of the accumulated metrics, with Backlog and
+// Slots refreshed.
+func (e *Engine) Metrics() Metrics {
+	m := e.metrics
+	m.Slots = e.slot
+	m.Backlog = 0
+	for _, q := range e.queues {
+		m.Backlog += len(q)
+	}
+	return m
+}
+
+// Inject enqueues a message at its source, honoring MaxQueue.
+func (e *Engine) Inject(src, dst int) {
+	if src == dst {
+		return
+	}
+	e.metrics.Injected++
+	e.enqueue(src, Message{ID: e.nextID, Src: src, Dst: dst, Born: e.slot})
+	e.nextID++
+}
+
+func (e *Engine) enqueue(node int, msg Message) {
+	if e.cfg.MaxQueue > 0 && len(e.queues[node]) >= e.cfg.MaxQueue {
+		e.metrics.Dropped++
+		return
+	}
+	e.queues[node] = append(e.queues[node], msg)
+	if len(e.queues[node]) > e.metrics.PeakQueue {
+		e.metrics.PeakQueue = len(e.queues[node])
+	}
+}
+
+// Step advances the simulation by one slot: arbitration, transmission,
+// delivery or relay.
+func (e *Engine) Step() {
+	// Phase 1: each node with a queued message requests its preferred
+	// coupler for the head-of-line message. Everything below iterates in
+	// coupler or node order so runs are deterministic for a given seed.
+	var requests []txRequest
+	byCoupler := make([][]int, e.topo.Couplers()) // coupler -> request indices
+	for u := 0; u < e.topo.Nodes(); u++ {
+		if len(e.queues[u]) == 0 {
+			continue
+		}
+		msg := e.queues[u][0]
+		c, hop := e.topo.NextCoupler(u, msg.Dst)
+		if c < 0 {
+			// Unroutable (should not happen on the strongly connected
+			// topologies used here); drop defensively.
+			e.queues[u] = e.queues[u][1:]
+			e.metrics.Dropped++
+			continue
+		}
+		requests = append(requests, txRequest{node: u, coupler: c, nextHop: hop})
+		byCoupler[c] = append(byCoupler[c], len(requests)-1)
+	}
+
+	// Phase 2: per-coupler arbitration — round-robin over node ids so no
+	// node starves. With W wavelengths each coupler grants up to W senders.
+	w := e.cfg.wavelengths()
+	granted := make([][]txRequest, e.topo.Couplers())
+	winners := make(map[int]bool) // node ids that won somewhere
+	for c := 0; c < e.topo.Couplers(); c++ {
+		idxs := byCoupler[c]
+		if len(idxs) == 0 {
+			continue
+		}
+		// Sort candidates by round-robin key and take the first W.
+		sortByRRKey(idxs, requests, e.rr[c], e.topo.Nodes())
+		take := w
+		if take > len(idxs) {
+			take = len(idxs)
+		}
+		for _, i := range idxs[:take] {
+			granted[c] = append(granted[c], requests[i])
+			winners[requests[i].node] = true
+		}
+		e.rr[c] = (requests[idxs[take-1]].node + 1) % e.topo.Nodes()
+	}
+
+	// Phase 3 (deflection only): losers grab any coupler that is still
+	// free on their node; the message is deflected toward the head node
+	// closest to its destination.
+	if e.cfg.Deflection {
+		for _, r := range requests {
+			if winners[r.node] {
+				continue
+			}
+			for _, c := range e.topo.OutCouplers(r.node) {
+				if len(granted[c]) >= w {
+					continue
+				}
+				// Deflect toward the best head on this coupler.
+				msg := e.queues[r.node][0]
+				bestHop, bestDist := -1, 1<<30
+				for _, h := range e.topo.Heads(c) {
+					if d := e.topo.Distance(h, msg.Dst); d >= 0 && d < bestDist {
+						bestDist = d
+						bestHop = h
+					}
+				}
+				if bestHop < 0 {
+					continue
+				}
+				granted[c] = append(granted[c], txRequest{node: r.node, coupler: c, nextHop: bestHop})
+				winners[r.node] = true
+				e.metrics.Deflections++
+				break
+			}
+		}
+	}
+
+	// Phase 4: transmissions. Winners pop their head-of-line message; it is
+	// delivered if the destination hears the coupler, else relayed to the
+	// chosen next hop.
+	for c := 0; c < e.topo.Couplers(); c++ {
+		for _, r := range granted[c] {
+			msg := e.queues[r.node][0]
+			e.queues[r.node] = e.queues[r.node][1:]
+			msg.Hops++
+			delivered := false
+			for _, h := range e.topo.Heads(r.coupler) {
+				if h == msg.Dst {
+					delivered = true
+					break
+				}
+			}
+			if delivered {
+				e.metrics.Delivered++
+				e.metrics.TotalLatency += e.slot + 1 - msg.Born
+				e.metrics.TotalHops += msg.Hops
+			} else {
+				e.enqueue(r.nextHop, msg)
+			}
+		}
+	}
+	e.slot++
+}
+
+// txRequest is one node's wish to drive one coupler toward one next hop.
+type txRequest struct {
+	node    int
+	coupler int
+	nextHop int
+}
+
+// sortByRRKey orders request indices by round-robin distance of their node
+// id from the cursor (insertion sort; candidate lists are small).
+func sortByRRKey(idxs []int, requests []txRequest, cursor, n int) {
+	key := func(i int) int { return (requests[i].node - cursor + n) % n }
+	for a := 1; a < len(idxs); a++ {
+		for b := a; b > 0 && key(idxs[b]) < key(idxs[b-1]); b-- {
+			idxs[b], idxs[b-1] = idxs[b-1], idxs[b]
+		}
+	}
+}
+
+// Run executes a full simulation: `slots` slots of traffic generation plus
+// up to `drain` extra slots to let queues empty, returning the metrics.
+func Run(topo Topology, traffic Traffic, slots, drain int, cfg Config) Metrics {
+	e := NewEngine(topo, cfg)
+	for s := 0; s < slots; s++ {
+		for _, inj := range traffic.Generate(s, topo.Nodes(), e.rng) {
+			e.Inject(inj.Src, inj.Dst)
+		}
+		e.Step()
+	}
+	for s := 0; s < drain && e.Metrics().Backlog > 0; s++ {
+		e.Step()
+	}
+	return e.Metrics()
+}

@@ -1,0 +1,50 @@
+package sim
+
+import (
+	"testing"
+
+	"otisnet/internal/pops"
+	"otisnet/internal/stackkautz"
+)
+
+func TestSaturationSearchPOPSVsSK(t *testing.T) {
+	// At equal node count, POPS(9,8) has 64 couplers against SK(6,3,2)'s
+	// 48, so its saturation rate must be at least SK's.
+	skTopo := NewStackTopology(stackkautz.New(6, 3, 2).StackGraph())
+	popsTopo := NewStackTopology(pops.New(9, 8).StackGraph())
+	skSat := SaturationSearch(skTopo, 400, 0.95, Config{Seed: 11})
+	popsSat := SaturationSearch(popsTopo, 400, 0.95, Config{Seed: 11})
+	if skSat <= 0 || popsSat <= 0 {
+		t.Fatalf("saturation rates must be positive: sk=%v pops=%v", skSat, popsSat)
+	}
+	if popsSat < skSat {
+		t.Fatalf("POPS(9,8) should sustain at least SK(6,3,2): pops=%v sk=%v",
+			popsSat, skSat)
+	}
+}
+
+func TestSaturationSearchWDMRaisesLimit(t *testing.T) {
+	topo := NewStackTopology(stackkautz.New(6, 3, 2).StackGraph())
+	w1 := SaturationSearch(topo, 300, 0.95, Config{Seed: 7})
+	w4 := SaturationSearch(topo, 300, 0.95, Config{Seed: 7, Wavelengths: 4})
+	if w4 < w1 {
+		t.Fatalf("WDM should not lower the saturation rate: w1=%v w4=%v", w1, w4)
+	}
+}
+
+func TestSaturationSearchTinyNetworkSustainsAll(t *testing.T) {
+	// POPS(1,2): 2 nodes, 4 couplers — sustains rate 1.0.
+	topo := NewStackTopology(pops.New(1, 2).StackGraph())
+	if sat := SaturationSearch(topo, 200, 0.95, Config{Seed: 3}); sat != 1.0 {
+		t.Fatalf("tiny POPS should sustain full load, got %v", sat)
+	}
+}
+
+func TestSaturationDeterministic(t *testing.T) {
+	topo := NewStackTopology(stackkautz.New(2, 2, 2).StackGraph())
+	a := SaturationSearch(topo, 200, 0.95, Config{Seed: 9})
+	b := SaturationSearch(topo, 200, 0.95, Config{Seed: 9})
+	if a != b {
+		t.Fatalf("saturation search must be deterministic: %v vs %v", a, b)
+	}
+}

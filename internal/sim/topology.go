@@ -1,0 +1,160 @@
+// Package sim is a slotted-time simulator for single-wavelength multi-OPS
+// networks. Its semantics follow the POPS / stack-Kautz literature the
+// paper builds on: time advances in synchronous slots; each OPS coupler
+// carries at most one message per slot (single wavelength); a transmission
+// on a coupler is heard by every node on the coupler's output side; each
+// node transmits at most one message per slot. Store-and-forward routing
+// with per-node FIFO queues is the default; hot-potato deflection (Zhang &
+// Acampora, reference [25]) is available as an ablation. Point-to-point
+// digraph networks (the de Bruijn single-OPS baseline of reference [22])
+// are simulated through the same interface by viewing every arc as a
+// degree-1 coupler.
+package sim
+
+import (
+	"fmt"
+
+	"otisnet/internal/digraph"
+	"otisnet/internal/hypergraph"
+)
+
+// Topology abstracts a network for the engine: nodes, couplers, and a
+// routing oracle.
+type Topology interface {
+	// Nodes returns the number of processors.
+	Nodes() int
+	// Couplers returns the number of couplers (transmission resources).
+	Couplers() int
+	// OutCouplers lists the couplers node u may transmit on.
+	OutCouplers(u int) []int
+	// Heads lists the nodes that hear a transmission on coupler c.
+	Heads(c int) []int
+	// NextCoupler returns the coupler a message at u bound for dst should
+	// take under shortest-path routing, and the preferred next-hop node.
+	NextCoupler(u, dst int) (coupler, nextHop int)
+	// Distance returns the hop distance from u to dst.
+	Distance(u, dst int) int
+}
+
+// stackTopology adapts a stack-graph (multi-OPS network) with precomputed
+// shortest-path next-hop tables.
+type stackTopology struct {
+	sg   *hypergraph.StackGraph
+	out  [][]int
+	dist [][]int // dist[u][v] on the underlying digraph
+	und  *digraph.Digraph
+}
+
+// NewStackTopology wraps a stack-graph for simulation. The underlying
+// point-to-point reachability digraph is used for distances; routing takes,
+// at each hop, a coupler whose head set contains a node strictly closer to
+// the destination.
+func NewStackTopology(sg *hypergraph.StackGraph) Topology {
+	st := &stackTopology{sg: sg, und: sg.UnderlyingDigraph()}
+	n := sg.N()
+	st.out = make([][]int, n)
+	for u := 0; u < n; u++ {
+		st.out[u] = sg.OutArcs(u)
+	}
+	st.dist = make([][]int, n)
+	for u := 0; u < n; u++ {
+		st.dist[u] = st.und.BFS(u)
+	}
+	return st
+}
+
+func (st *stackTopology) Nodes() int              { return st.sg.N() }
+func (st *stackTopology) Couplers() int           { return st.sg.M() }
+func (st *stackTopology) OutCouplers(u int) []int { return st.out[u] }
+func (st *stackTopology) Heads(c int) []int       { return st.sg.Hyperarc(c).Head }
+
+func (st *stackTopology) Distance(u, dst int) int { return st.dist[u][dst] }
+
+func (st *stackTopology) NextCoupler(u, dst int) (int, int) {
+	if u == dst {
+		return -1, u
+	}
+	best, bestHop := -1, -1
+	bestDist := st.dist[u][dst]
+	for _, c := range st.out[u] {
+		for _, h := range st.sg.Hyperarc(c).Head {
+			d := st.dist[h][dst]
+			if d != digraph.Unreachable && d < bestDist {
+				bestDist = d
+				best, bestHop = c, h
+			}
+		}
+	}
+	return best, bestHop
+}
+
+// pointToPoint adapts a digraph as a single-OPS-per-arc network: every arc
+// is its own degree-1 coupler.
+type pointToPoint struct {
+	g    *digraph.Digraph
+	out  [][]int // coupler ids per node
+	head []int   // head node per coupler
+	dist [][]int
+}
+
+// NewPointToPointTopology wraps a digraph where each arc is a dedicated
+// point-to-point optical link (the single-OPS baseline).
+func NewPointToPointTopology(g *digraph.Digraph) Topology {
+	pt := &pointToPoint{g: g}
+	pt.out = make([][]int, g.N())
+	for _, a := range g.Arcs() {
+		c := len(pt.head)
+		pt.head = append(pt.head, a[1])
+		pt.out[a[0]] = append(pt.out[a[0]], c)
+	}
+	pt.dist = make([][]int, g.N())
+	for u := 0; u < g.N(); u++ {
+		pt.dist[u] = g.BFS(u)
+	}
+	return pt
+}
+
+func (pt *pointToPoint) Nodes() int              { return pt.g.N() }
+func (pt *pointToPoint) Couplers() int           { return len(pt.head) }
+func (pt *pointToPoint) OutCouplers(u int) []int { return pt.out[u] }
+func (pt *pointToPoint) Heads(c int) []int       { return pt.head[c : c+1] }
+func (pt *pointToPoint) Distance(u, dst int) int { return pt.dist[u][dst] }
+
+func (pt *pointToPoint) NextCoupler(u, dst int) (int, int) {
+	if u == dst {
+		return -1, u
+	}
+	cur := pt.dist[u][dst]
+	for _, c := range pt.out[u] {
+		h := pt.head[c]
+		if d := pt.dist[h][dst]; d != digraph.Unreachable && d < cur {
+			return c, h
+		}
+	}
+	return -1, -1
+}
+
+// CheckTopology validates basic sanity: every node has at least one out
+// coupler, every coupler has at least one head, and routing reaches every
+// destination. Returns nil for usable topologies.
+func CheckTopology(t Topology) error {
+	for u := 0; u < t.Nodes(); u++ {
+		if len(t.OutCouplers(u)) == 0 {
+			return fmt.Errorf("sim: node %d cannot transmit", u)
+		}
+		for v := 0; v < t.Nodes(); v++ {
+			if u == v {
+				continue
+			}
+			if t.Distance(u, v) == digraph.Unreachable {
+				return fmt.Errorf("sim: node %d cannot reach %d", u, v)
+			}
+		}
+	}
+	for c := 0; c < t.Couplers(); c++ {
+		if len(t.Heads(c)) == 0 {
+			return fmt.Errorf("sim: coupler %d has no listeners", c)
+		}
+	}
+	return nil
+}

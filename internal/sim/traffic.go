@@ -1,0 +1,125 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Injection is a message creation request: src wants to send to dst.
+type Injection struct {
+	Src, Dst int
+}
+
+// Traffic generates the injections of each slot.
+type Traffic interface {
+	// Generate returns the injections for one slot. n is the node count.
+	Generate(slot, n int, rng *rand.Rand) []Injection
+}
+
+// UniformTraffic injects, per node per slot, a message with probability
+// Rate, to a destination chosen uniformly among the other nodes. This is
+// the canonical load model of the multihop lightwave literature.
+type UniformTraffic struct {
+	// Rate is the per-node injection probability per slot, in [0,1].
+	Rate float64
+}
+
+// Generate implements Traffic.
+func (t UniformTraffic) Generate(_, n int, rng *rand.Rand) []Injection {
+	var inj []Injection
+	for u := 0; u < n; u++ {
+		if rng.Float64() < t.Rate {
+			dst := rng.Intn(n - 1)
+			if dst >= u {
+				dst++
+			}
+			inj = append(inj, Injection{Src: u, Dst: dst})
+		}
+	}
+	return inj
+}
+
+// PermutationTraffic injects, with probability Rate per node per slot, a
+// message to a fixed permutation partner — a worst-case pattern with no
+// destination locality.
+type PermutationTraffic struct {
+	Rate float64
+	Perm []int
+}
+
+// NewPermutationTraffic builds a random fixed-point-free-ish permutation
+// pattern over n nodes.
+func NewPermutationTraffic(rate float64, n int, rng *rand.Rand) PermutationTraffic {
+	perm := rng.Perm(n)
+	// Displace fixed points cyclically so nobody sends to itself.
+	for i, p := range perm {
+		if p == i {
+			perm[i] = (i + 1) % n
+		}
+	}
+	return PermutationTraffic{Rate: rate, Perm: perm}
+}
+
+// Generate implements Traffic.
+func (t PermutationTraffic) Generate(_, n int, rng *rand.Rand) []Injection {
+	if len(t.Perm) != n {
+		panic(fmt.Sprintf("sim: permutation over %d nodes used on %d-node network", len(t.Perm), n))
+	}
+	var inj []Injection
+	for u := 0; u < n; u++ {
+		if t.Perm[u] != u && rng.Float64() < t.Rate {
+			inj = append(inj, Injection{Src: u, Dst: t.Perm[u]})
+		}
+	}
+	return inj
+}
+
+// HotspotTraffic is uniform traffic where a fraction of messages is
+// redirected to a single hot node, modeling server-style contention.
+type HotspotTraffic struct {
+	Rate     float64
+	Hot      int
+	Fraction float64
+}
+
+// Generate implements Traffic.
+func (t HotspotTraffic) Generate(_, n int, rng *rand.Rand) []Injection {
+	var inj []Injection
+	for u := 0; u < n; u++ {
+		if rng.Float64() >= t.Rate {
+			continue
+		}
+		dst := t.Hot
+		if u == t.Hot || rng.Float64() >= t.Fraction {
+			dst = rng.Intn(n - 1)
+			if dst >= u {
+				dst++
+			}
+		}
+		inj = append(inj, Injection{Src: u, Dst: dst})
+	}
+	return inj
+}
+
+// BurstTraffic injects a fixed batch of random messages at slot 0 and
+// nothing afterwards — used to measure drain time of a finite workload.
+type BurstTraffic struct {
+	Messages int
+}
+
+// Generate implements Traffic.
+func (t BurstTraffic) Generate(slot, n int, rng *rand.Rand) []Injection {
+	if slot != 0 || n < 2 {
+		return nil
+	}
+	inj := make([]Injection, t.Messages)
+	for i := range inj {
+		src := rng.Intn(n)
+		dst := rng.Intn(n - 1)
+		if dst >= src {
+			dst++
+		}
+		inj[i] = Injection{Src: src, Dst: dst}
+	}
+	return inj
+}

@@ -1,0 +1,100 @@
+package stackkautz
+
+import (
+	"fmt"
+
+	"otisnet/internal/digraph"
+	"otisnet/internal/hypergraph"
+	"otisnet/internal/imase"
+)
+
+// IINetwork is the stack-Imase-Itoh network ς(s, II⁺(d,n)): the "trivial
+// extension" of the stack-Kautz the paper points out, which exists for
+// every group count n. Groups are integers modulo n; each group has the d
+// Imase-Itoh out-arcs plus a loop, so processors have degree d+1. This is
+// also the group numbering in which the OTIS optical design is naturally
+// expressed (Proposition 1), so package core designs against it.
+type IINetwork struct {
+	s, d, n int
+	ii      *imase.Graph
+	sg      *hypergraph.StackGraph
+}
+
+// NewII constructs the stack-Imase-Itoh network ς(s, II⁺(d,n)).
+func NewII(s, d, n int) *IINetwork {
+	if s < 1 {
+		panic(fmt.Sprintf("stackkautz: invalid stacking factor %d", s))
+	}
+	ii := imase.New(d, n)
+	// The loop coupler is an additional coupler per group even when II(d,n)
+	// already contains a self-arc (possible at non-Kautz orders, e.g.
+	// II(3,10) at nodes 2 and 7), so add a parallel loop unconditionally
+	// rather than via digraph.AddLoops.
+	base := ii.Digraph().Clone()
+	for u := 0; u < base.N(); u++ {
+		base.AddArc(u, u)
+	}
+	return &IINetwork{
+		s:  s,
+		d:  d,
+		n:  n,
+		ii: ii,
+		sg: hypergraph.NewStackGraph(s, base),
+	}
+}
+
+// S returns the stacking factor.
+func (w *IINetwork) S() int { return w.s }
+
+// D returns the Imase-Itoh degree d (processor degree is d+1).
+func (w *IINetwork) D() int { return w.d }
+
+// Groups returns the number of groups n.
+func (w *IINetwork) Groups() int { return w.n }
+
+// N returns the number of processors s·n.
+func (w *IINetwork) N() int { return w.s * w.n }
+
+// Couplers returns n·(d+1).
+func (w *IINetwork) Couplers() int { return w.n * (w.d + 1) }
+
+// StackGraph returns the ς(s, II⁺(d,n)) model.
+func (w *IINetwork) StackGraph() *hypergraph.StackGraph { return w.sg }
+
+// Imase returns the underlying Imase-Itoh graph.
+func (w *IINetwork) Imase() *imase.Graph { return w.ii }
+
+// DiameterBound returns ⌈log_d n⌉, the inter-group diameter bound.
+func (w *IINetwork) DiameterBound() int { return imase.DiameterBound(w.d, w.n) }
+
+// Route returns a hop-by-hop route between two processors (flat ids,
+// group·s + member), following shortest paths in II⁺(d,n) with the loop
+// coupler covering the intra-group hop. Nil when unroutable (cannot happen
+// for d >= 2: II graphs are strongly connected).
+func (w *IINetwork) Route(src, dst int) []int { return w.sg.Route(src, dst) }
+
+// GroupNumbering relates a stack-Kautz network to the stack-Imase-Itoh
+// network with the same parameters (n = d^{k-1}(d+1)): it returns a mapping
+// m with m[kautzVertex] = II node such that the two group digraphs
+// coincide, or nil if the isomorphism search fails (it cannot, by
+// Imase-Itoh 1983; the tests assert success). The mapping lets designs and
+// routes expressed in Kautz words be transported onto the OTIS hardware
+// numbering.
+func GroupNumbering(sk *Network) []int {
+	ii := imase.New(sk.D(), sk.Groups())
+	return digraph.FindIsomorphism(sk.Kautz().Digraph(), ii.Digraph())
+}
+
+// TransportAddress converts a stack-Kautz address into the (group number,
+// member) pair of the corresponding stack-Imase-Itoh network under the
+// given group numbering.
+func TransportAddress(sk *Network, numbering []int, a Address) (group, member int) {
+	return numbering[sk.Kautz().Index(a.Group)], a.Member
+}
+
+// KautzOrderNetwork reports whether the stack-Imase-Itoh network is in fact
+// a stack-Kautz network (its group count is a Kautz order), returning the
+// diameter k.
+func (w *IINetwork) KautzOrderNetwork() (k int, ok bool) {
+	return imase.KautzOrder(w.d, w.n)
+}

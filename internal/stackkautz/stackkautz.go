@@ -1,0 +1,168 @@
+// Package stackkautz implements the stack-Kautz network SK(s,d,k) of
+// Coudert, Ferreira and Muñoz (Definition 4): the stack-graph
+// ς(s, KG⁺(d,k)) of stacking factor s over the Kautz graph with loops.
+// SK(s,d,k) has N = s·d^{k-1}(d+1) processors in G = d^{k-1}(d+1) groups of
+// s; each processor has degree d+1 (d Kautz arcs plus the group loop) and
+// the network has G·(d+1) couplers of degree s and diameter k.
+//
+// The package also provides the stack-Imase-Itoh generalization the paper
+// mentions ("the definition of stack-Kautz network can be trivially
+// extended to the stack-Imase-Itoh network"), which exists for every group
+// count n and is what the optical design engine targets directly, plus the
+// bridge between the two labelings (Kautz words <-> integers mod G).
+package stackkautz
+
+import (
+	"fmt"
+
+	"otisnet/internal/hypergraph"
+	"otisnet/internal/kautz"
+)
+
+// Address identifies a processor of SK(s,d,k) the way the paper does: a
+// pair (x, y) where x is a Kautz word (the group) and y the index within
+// the group.
+type Address struct {
+	Group  kautz.Label
+	Member int
+}
+
+// String renders the address as "(word,y)".
+func (a Address) String() string { return fmt.Sprintf("(%s,%d)", a.Group, a.Member) }
+
+// Network is a stack-Kautz network SK(s,d,k).
+type Network struct {
+	s, d, k int
+	kg      *kautz.Graph
+	sg      *hypergraph.StackGraph
+}
+
+// New constructs SK(s,d,k).
+func New(s, d, k int) *Network {
+	if s < 1 {
+		panic(fmt.Sprintf("stackkautz: invalid stacking factor %d", s))
+	}
+	kg := kautz.New(d, k)
+	return &Network{
+		s:  s,
+		d:  d,
+		k:  k,
+		kg: kg,
+		sg: hypergraph.NewStackGraph(s, kg.WithLoops()),
+	}
+}
+
+// S returns the stacking factor (group size, = coupler degree).
+func (n *Network) S() int { return n.s }
+
+// D returns the Kautz degree d; processors have degree d+1.
+func (n *Network) D() int { return n.d }
+
+// K returns the diameter k.
+func (n *Network) K() int { return n.k }
+
+// Degree returns the processor degree d+1 (d Kautz arcs + loop).
+func (n *Network) Degree() int { return n.d + 1 }
+
+// Groups returns the number of groups G = d^{k-1}(d+1).
+func (n *Network) Groups() int { return n.kg.N() }
+
+// N returns the number of processors s·G.
+func (n *Network) N() int { return n.s * n.kg.N() }
+
+// Couplers returns the number of OPS couplers G·(d+1) = d^{k-1}(d+1)².
+func (n *Network) Couplers() int { return n.Groups() * (n.d + 1) }
+
+// Kautz returns the underlying Kautz graph.
+func (n *Network) Kautz() *kautz.Graph { return n.kg }
+
+// StackGraph returns the ς(s, KG⁺(d,k)) model.
+func (n *Network) StackGraph() *hypergraph.StackGraph { return n.sg }
+
+// NodeID maps an address to a flat processor id (group index · s + member).
+func (n *Network) NodeID(a Address) int {
+	return n.sg.NodeID(hypergraph.StackNode{Group: n.kg.Index(a.Group), Member: a.Member})
+}
+
+// Addr maps a flat processor id to its (word, member) address.
+func (n *Network) Addr(id int) Address {
+	sn := n.sg.Node(id)
+	return Address{Group: n.kg.LabelOf(sn.Group), Member: sn.Member}
+}
+
+// Diameter returns the network diameter, which equals k: inter-group
+// routes follow Kautz shortest paths (<= k hops) and intra-group delivery
+// uses the loop coupler (1 hop).
+func (n *Network) Diameter() int {
+	if n.N() == 1 {
+		return 0
+	}
+	if n.s == 1 && n.k == 1 {
+		// Without distinct members, the loop is never needed.
+		return 1
+	}
+	return n.k
+}
+
+// Route returns the hop-by-hop route between two processors as addresses,
+// following the label-induced Kautz shortest path between groups, with the
+// loop coupler covering the intra-group case. Length is at most k+1
+// addresses (k hops).
+func (n *Network) Route(src, dst Address) []Address {
+	if src.Group.Equal(dst.Group) {
+		if src.Member == dst.Member {
+			return []Address{src}
+		}
+		return []Address{src, dst} // loop coupler, one hop
+	}
+	words := kautz.Route(src.Group, dst.Group)
+	route := make([]Address, len(words))
+	route[0] = src
+	for i := 1; i < len(words); i++ {
+		route[i] = Address{Group: words[i], Member: dst.Member}
+	}
+	return route
+}
+
+// RouteAvoiding routes between processors while avoiding a set of faulty
+// groups (a group whose couplers or OTIS ports failed takes all its
+// processors down, which is the fault unit of the paper's §2.5 claim).
+// The path has at most k+2 hops when at most d-1 groups are faulty. The
+// boolean mirrors kautz.RouteAvoiding's: true when the label-based
+// candidate family sufficed.
+func (n *Network) RouteAvoiding(src, dst Address, faultyGroup func(kautz.Label) bool) ([]Address, bool) {
+	if src.Group.Equal(dst.Group) {
+		if src.Member == dst.Member {
+			return []Address{src}, true
+		}
+		return []Address{src, dst}, true
+	}
+	words, viaFamily := n.kg.RouteAvoiding(src.Group, dst.Group, kautz.FaultSet(faultyGroup))
+	if words == nil {
+		return nil, false
+	}
+	route := make([]Address, len(words))
+	route[0] = src
+	for i := 1; i < len(words); i++ {
+		route[i] = Address{Group: words[i], Member: dst.Member}
+	}
+	return route, viaFamily
+}
+
+// ValidRoute verifies a route hop by hop against the stack-graph model.
+func (n *Network) ValidRoute(route []Address) bool {
+	ids := make([]int, len(route))
+	for i, a := range route {
+		if !a.Group.Valid(n.d) || a.Member < 0 || a.Member >= n.s {
+			return false
+		}
+		ids[i] = n.NodeID(a)
+	}
+	return n.sg.ValidRoute(ids)
+}
+
+// CouplerOf returns the hyperarc index of the coupler carrying the Kautz
+// arc from group x to group z (use x == z for the loop coupler).
+func (n *Network) CouplerOf(x, z kautz.Label) int {
+	return n.sg.HyperarcFor(n.kg.Index(x), n.kg.Index(z))
+}

@@ -1,0 +1,294 @@
+package stackkautz
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"otisnet/internal/kautz"
+)
+
+func TestParametersFig7(t *testing.T) {
+	// Fig. 7 / §4.2: SK(6,3,2) has 72 processors (12 groups of 6), degree 4,
+	// diameter 2, and 12·4² ... precisely d^{k-1}(d+1)² = 48 couplers.
+	n := New(6, 3, 2)
+	if n.N() != 72 || n.Groups() != 12 {
+		t.Fatalf("SK(6,3,2): N=%d groups=%d, want 72, 12", n.N(), n.Groups())
+	}
+	if n.Degree() != 4 {
+		t.Fatalf("degree = %d, want 4", n.Degree())
+	}
+	if n.Couplers() != 48 {
+		t.Fatalf("couplers = %d, want 48", n.Couplers())
+	}
+	if n.Diameter() != 2 {
+		t.Fatalf("diameter = %d, want 2", n.Diameter())
+	}
+}
+
+func TestNewInvalidPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("s=0 should panic")
+		}
+	}()
+	New(0, 2, 2)
+}
+
+func TestStackModelDegrees(t *testing.T) {
+	n := New(4, 2, 2)
+	sg := n.StackGraph()
+	for v := 0; v < sg.N(); v++ {
+		if sg.OutDegree(v) != 3 || sg.InDegree(v) != 3 {
+			t.Fatalf("node %d degree (%d,%d), want (3,3)", v, sg.OutDegree(v), sg.InDegree(v))
+		}
+	}
+	for i := 0; i < sg.M(); i++ {
+		if sg.Hyperarc(i).Degree() != 4 {
+			t.Fatalf("coupler %d degree != s=4", i)
+		}
+	}
+}
+
+func TestDiameterMatchesStackGraph(t *testing.T) {
+	// The structural (BFS) diameter of the stack model must equal k.
+	for _, p := range []struct{ s, d, k int }{{2, 2, 2}, {3, 2, 3}, {2, 3, 2}, {6, 3, 2}} {
+		n := New(p.s, p.d, p.k)
+		if got := n.StackGraph().Diameter(); got != n.Diameter() {
+			t.Errorf("SK(%d,%d,%d): BFS diameter %d != Diameter() %d",
+				p.s, p.d, p.k, got, n.Diameter())
+		}
+	}
+}
+
+func TestAddrRoundTrip(t *testing.T) {
+	n := New(3, 2, 2)
+	for id := 0; id < n.N(); id++ {
+		if got := n.NodeID(n.Addr(id)); got != id {
+			t.Fatalf("round trip %d -> %v -> %d", id, n.Addr(id), got)
+		}
+	}
+}
+
+func TestAddressString(t *testing.T) {
+	a := Address{Group: kautz.Label{1, 2}, Member: 3}
+	if a.String() != "(12,3)" {
+		t.Fatalf("String = %q", a.String())
+	}
+}
+
+func TestRouteIntraGroup(t *testing.T) {
+	n := New(6, 3, 2)
+	g := n.Kautz().LabelOf(4)
+	src := Address{Group: g, Member: 0}
+	dst := Address{Group: g, Member: 5}
+	r := n.Route(src, dst)
+	if len(r) != 2 {
+		t.Fatalf("intra-group route = %v, want one hop via loop", r)
+	}
+	if !n.ValidRoute(r) {
+		t.Fatal("invalid intra-group route")
+	}
+	self := n.Route(src, src)
+	if len(self) != 1 {
+		t.Fatalf("self route = %v", self)
+	}
+}
+
+func TestRouteInterGroupShortest(t *testing.T) {
+	n := New(2, 2, 3)
+	kg := n.Kautz()
+	for trial, pair := range [][2]int{{0, 5}, {3, 11}, {7, 2}} {
+		src := Address{Group: kg.LabelOf(pair[0]), Member: 0}
+		dst := Address{Group: kg.LabelOf(pair[1]), Member: 1}
+		r := n.Route(src, dst)
+		if !n.ValidRoute(r) {
+			t.Fatalf("trial %d: invalid route %v", trial, r)
+		}
+		want := kautz.Distance(src.Group, dst.Group)
+		if len(r)-1 != want {
+			t.Fatalf("trial %d: route hops %d, want Kautz distance %d", trial, len(r)-1, want)
+		}
+	}
+}
+
+func TestRouteAvoidingFaultyGroups(t *testing.T) {
+	n := New(4, 3, 2)
+	kg := n.Kautz()
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 100; trial++ {
+		u := rng.Intn(kg.N())
+		v := rng.Intn(kg.N())
+		if u == v {
+			continue
+		}
+		faulty := map[int]bool{}
+		for len(faulty) < n.D()-1 {
+			f := rng.Intn(kg.N())
+			if f != u && f != v {
+				faulty[f] = true
+			}
+		}
+		src := Address{Group: kg.LabelOf(u), Member: rng.Intn(4)}
+		dst := Address{Group: kg.LabelOf(v), Member: rng.Intn(4)}
+		r, _ := n.RouteAvoiding(src, dst, func(w kautz.Label) bool { return faulty[kg.Index(w)] })
+		if r == nil {
+			t.Fatalf("no route %v -> %v with %d faulty groups", src, dst, len(faulty))
+		}
+		if !n.ValidRoute(r) {
+			t.Fatalf("invalid fault route %v", r)
+		}
+		if len(r)-1 > n.K()+2 {
+			t.Fatalf("fault route has %d hops > k+2", len(r)-1)
+		}
+		for _, a := range r[1 : len(r)-1] {
+			if faulty[kg.Index(a.Group)] {
+				t.Fatalf("route passes through faulty group %s", a.Group)
+			}
+		}
+	}
+}
+
+func TestCouplerOf(t *testing.T) {
+	n := New(2, 2, 2)
+	kg := n.Kautz()
+	x := kg.LabelOf(0)
+	// Loop coupler exists for every group.
+	if n.CouplerOf(x, x) < 0 {
+		t.Fatal("loop coupler missing")
+	}
+	// Kautz arc coupler.
+	z := kg.LabelOf(kg.Digraph().Out(0)[0])
+	if n.CouplerOf(x, z) < 0 {
+		t.Fatal("arc coupler missing")
+	}
+	// Non-arc: no coupler. Find a non-neighbor group.
+	for v := 0; v < kg.N(); v++ {
+		if v != 0 && !kg.Digraph().HasArc(0, v) {
+			if n.CouplerOf(x, kg.LabelOf(v)) != -1 {
+				t.Fatal("coupler for non-arc should be -1")
+			}
+			break
+		}
+	}
+}
+
+func TestIINetworkParameters(t *testing.T) {
+	w := NewII(4, 3, 10)
+	if w.N() != 40 || w.Groups() != 10 || w.Couplers() != 40 {
+		t.Fatalf("stack-II(4,3,10): N=%d groups=%d couplers=%d", w.N(), w.Groups(), w.Couplers())
+	}
+	if w.S() != 4 || w.D() != 3 {
+		t.Fatal("parameters wrong")
+	}
+	sg := w.StackGraph()
+	for v := 0; v < sg.N(); v++ {
+		if sg.OutDegree(v) != 4 {
+			t.Fatalf("degree should be d+1 = 4")
+		}
+	}
+}
+
+func TestIINetworkInvalidPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("s=0 should panic")
+		}
+	}()
+	NewII(0, 2, 5)
+}
+
+func TestIINetworkDiameterBound(t *testing.T) {
+	w := NewII(2, 3, 12)
+	if w.DiameterBound() != 3 {
+		t.Fatalf("bound = %d, want ⌈log3 12⌉ = 3", w.DiameterBound())
+	}
+	// Inter-group BFS diameter within the stack never exceeds bound+... the
+	// stack diameter is max(group diameter, 1).
+	if got := w.StackGraph().Diameter(); got > w.DiameterBound() {
+		t.Fatalf("stack diameter %d exceeds II bound %d", got, w.DiameterBound())
+	}
+}
+
+func TestKautzOrderNetwork(t *testing.T) {
+	if k, ok := NewII(2, 3, 12).KautzOrderNetwork(); !ok || k != 2 {
+		t.Fatalf("stack-II over II(3,12) should be SK(·,3,2); got k=%d ok=%v", k, ok)
+	}
+	if _, ok := NewII(2, 3, 13).KautzOrderNetwork(); ok {
+		t.Fatal("13 is not a Kautz order for d=3")
+	}
+}
+
+func TestGroupNumberingBridgesKautzToII(t *testing.T) {
+	// SK(s,d,k) and ς(s, II⁺(d,G)) are the same network up to group
+	// renumbering: GroupNumbering must produce a true isomorphism.
+	for _, p := range []struct{ s, d, k int }{{2, 2, 2}, {6, 3, 2}, {2, 2, 3}} {
+		sk := New(p.s, p.d, p.k)
+		num := GroupNumbering(sk)
+		if num == nil {
+			t.Fatalf("SK(%d,%d,%d): no isomorphism found (must exist)", p.s, p.d, p.k)
+		}
+		// Spot-check: the mapping preserves adjacency.
+		kg := sk.Kautz().Digraph()
+		iiNet := NewII(p.s, p.d, sk.Groups())
+		iig := iiNet.Imase().Digraph()
+		for u := 0; u < kg.N(); u++ {
+			for _, v := range kg.Out(u) {
+				if !iig.HasArc(num[u], num[v]) {
+					t.Fatalf("numbering does not preserve arc %d->%d", u, v)
+				}
+			}
+		}
+	}
+}
+
+func TestTransportAddress(t *testing.T) {
+	sk := New(3, 2, 2)
+	num := GroupNumbering(sk)
+	if num == nil {
+		t.Fatal("numbering must exist")
+	}
+	a := Address{Group: sk.Kautz().LabelOf(4), Member: 2}
+	g, m := TransportAddress(sk, num, a)
+	if g != num[4] || m != 2 {
+		t.Fatalf("TransportAddress = (%d,%d), want (%d,2)", g, m, num[4])
+	}
+}
+
+// Property: SK parameter identities for random (s,d,k).
+func TestSKParameterProperty(t *testing.T) {
+	f := func(su, du, ku uint8) bool {
+		s := 1 + int(su)%5
+		d := 2 + int(du)%2
+		k := 1 + int(ku)%3
+		n := New(s, d, k)
+		g := kautz.N(d, k)
+		return n.N() == s*g && n.Groups() == g &&
+			n.Couplers() == g*(d+1) && n.Degree() == d+1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: routes between random addresses are valid, end at the
+// destination, and take at most k hops.
+func TestSKRouteProperty(t *testing.T) {
+	n := New(3, 2, 3)
+	f := func(a, b uint16) bool {
+		src := n.Addr(int(a) % n.N())
+		dst := n.Addr(int(b) % n.N())
+		r := n.Route(src, dst)
+		if !n.ValidRoute(r) {
+			return false
+		}
+		last := r[len(r)-1]
+		if !last.Group.Equal(dst.Group) || last.Member != dst.Member {
+			return false
+		}
+		return len(r)-1 <= n.K()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,258 @@
+package wdm
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"otisnet/internal/collective"
+	"otisnet/internal/control"
+	"otisnet/internal/pops"
+	"otisnet/internal/sim"
+	"otisnet/internal/stackkautz"
+)
+
+func TestAssignWavelengths(t *testing.T) {
+	round := []collective.Transmission{
+		{Node: 0, Coupler: 5},
+		{Node: 1, Coupler: 5},
+		{Node: 2, Coupler: 7},
+		{Node: 3, Coupler: 5},
+	}
+	asg, used := AssignWavelengths(round)
+	if used != 3 {
+		t.Fatalf("wavelengths used = %d, want 3", used)
+	}
+	// Same-coupler transmissions must have distinct wavelengths.
+	seen := map[[2]int]bool{}
+	for i, tr := range round {
+		key := [2]int{tr.Coupler, asg[i]}
+		if seen[key] {
+			t.Fatal("wavelength collision on a coupler")
+		}
+		seen[key] = true
+	}
+}
+
+func TestAssignWavelengthsEmpty(t *testing.T) {
+	asg, used := AssignWavelengths(nil)
+	if len(asg) != 0 || used != 0 {
+		t.Fatal("empty round should use 0 wavelengths")
+	}
+}
+
+func TestValidateWDMRelaxesCouplerConstraint(t *testing.T) {
+	p := pops.New(3, 2)
+	sg := p.StackGraph()
+	// Two senders on one coupler: invalid at w=1, valid at w=2.
+	s := &collective.Schedule{Rounds: [][]collective.Transmission{{
+		{Node: p.NodeID(0, 0), Coupler: p.CouplerIndex(0, 1)},
+		{Node: p.NodeID(0, 1), Coupler: p.CouplerIndex(0, 1)},
+	}}}
+	if s.Validate(sg) == nil {
+		t.Fatal("single-wavelength validation must reject")
+	}
+	if err := ValidateWDM(s, sg, 2); err != nil {
+		t.Fatal(err)
+	}
+	if ValidateWDM(s, sg, 1) == nil {
+		t.Fatal("w=1 must reject two senders")
+	}
+}
+
+func TestValidateWDMNodeConstraintStays(t *testing.T) {
+	p := pops.New(2, 2)
+	sg := p.StackGraph()
+	s := &collective.Schedule{Rounds: [][]collective.Transmission{{
+		{Node: p.NodeID(0, 0), Coupler: p.CouplerIndex(0, 0)},
+		{Node: p.NodeID(0, 0), Coupler: p.CouplerIndex(0, 1)},
+	}}}
+	if ValidateWDM(s, sg, 4) == nil {
+		t.Fatal("a node still transmits at most once per slot under WDM")
+	}
+}
+
+func TestValidateWDMErrors(t *testing.T) {
+	p := pops.New(2, 2)
+	sg := p.StackGraph()
+	if ValidateWDM(&collective.Schedule{}, sg, 0) == nil {
+		t.Fatal("w=0 invalid")
+	}
+	bad := &collective.Schedule{Rounds: [][]collective.Transmission{{{Node: 0, Coupler: 99}}}}
+	if ValidateWDM(bad, sg, 2) == nil {
+		t.Fatal("range check must stay")
+	}
+	foreign := &collective.Schedule{Rounds: [][]collective.Transmission{{
+		{Node: p.NodeID(1, 0), Coupler: p.CouplerIndex(0, 0)},
+	}}}
+	if ValidateWDM(foreign, sg, 2) == nil {
+		t.Fatal("tail check must stay")
+	}
+}
+
+func TestCompressPreservesSemantics(t *testing.T) {
+	// Compress a POPS gossip schedule: rounds have per-coupler load 1, so
+	// compression is the identity in length, and the result still gossips.
+	p := pops.New(3, 3)
+	s := collective.POPSGossip(p)
+	c := Compress(s, 4)
+	if c.Slots() != s.Slots() {
+		t.Fatalf("load-1 schedule should not shrink: %d -> %d", s.Slots(), c.Slots())
+	}
+	if err := ValidateWDM(c, p.StackGraph(), 4); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Execute(p.StackGraph()).GossipComplete() {
+		t.Fatal("compressed schedule lost gossip completeness")
+	}
+}
+
+func TestCompressSplitsOverloadedRounds(t *testing.T) {
+	// A hand-built round with 4 senders on one coupler compresses to
+	// ceil(4/w) rounds.
+	p := pops.New(4, 2)
+	sg := p.StackGraph()
+	var round []collective.Transmission
+	for m := 0; m < 4; m++ {
+		round = append(round, collective.Transmission{
+			Node: p.NodeID(0, m), Coupler: p.CouplerIndex(0, 1),
+		})
+	}
+	s := &collective.Schedule{Rounds: [][]collective.Transmission{round}}
+	for _, w := range []int{1, 2, 3, 4} {
+		c := Compress(s, w)
+		want := (4 + w - 1) / w
+		if c.Slots() != want {
+			t.Fatalf("w=%d: slots = %d, want %d", w, c.Slots(), want)
+		}
+		if err := ValidateWDM(c, sg, w); err != nil {
+			t.Fatalf("w=%d: %v", w, err)
+		}
+		if SpeedupBound(s, w) != want {
+			t.Fatalf("SpeedupBound disagrees with Compress at w=%d", w)
+		}
+	}
+}
+
+func TestCompressInvalidPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("w=0 should panic")
+		}
+	}()
+	Compress(&collective.Schedule{}, 0)
+}
+
+func TestCompressIndependentPacksTighter(t *testing.T) {
+	// 6 independent requests on one coupler from distinct nodes: w=3 packs
+	// them into 2 rounds.
+	p := pops.New(6, 2)
+	var batch []collective.Transmission
+	for m := 0; m < 6; m++ {
+		batch = append(batch, collective.Transmission{
+			Node: p.NodeID(0, m), Coupler: p.CouplerIndex(0, 1),
+		})
+	}
+	s := CompressIndependent(batch, 3)
+	if s.Slots() != 2 {
+		t.Fatalf("slots = %d, want 2", s.Slots())
+	}
+	if err := ValidateWDM(s, p.StackGraph(), 3); err != nil {
+		t.Fatal(err)
+	}
+	if s.Transmissions() != 6 {
+		t.Fatal("all transmissions must be placed")
+	}
+}
+
+func TestSimWDMIncreasesThroughputUnderSaturation(t *testing.T) {
+	// The same saturated workload on SK(6,3,2) with 1 vs 4 wavelengths:
+	// WDM must deliver at least as much, and strictly more here.
+	topo := sim.NewStackTopology(stackkautz.New(6, 3, 2).StackGraph())
+	m1 := sim.Run(topo, sim.UniformTraffic{Rate: 0.9}, 1000, 0, sim.Config{Seed: 5})
+	m4 := sim.Run(topo, sim.UniformTraffic{Rate: 0.9}, 1000, 0, sim.Config{Seed: 5, Wavelengths: 4})
+	if m4.Delivered <= m1.Delivered {
+		t.Fatalf("WDM should raise saturated throughput: w1=%d w4=%d",
+			m1.Delivered, m4.Delivered)
+	}
+}
+
+func TestSimWDMDefaultsToSingle(t *testing.T) {
+	topo := sim.NewStackTopology(pops.New(2, 2).StackGraph())
+	a := sim.Run(topo, sim.UniformTraffic{Rate: 0.5}, 300, 300, sim.Config{Seed: 3})
+	b := sim.Run(topo, sim.UniformTraffic{Rate: 0.5}, 300, 300, sim.Config{Seed: 3, Wavelengths: 1})
+	if a != b {
+		t.Fatal("Wavelengths 0 and 1 must behave identically")
+	}
+}
+
+// Property: compressing a TDMA frame with w wavelengths is always valid
+// under ValidateWDM and never longer than the original.
+func TestCompressTDMAProperty(t *testing.T) {
+	f := func(tu, gu, wu uint8) bool {
+		tt := 1 + int(tu)%4
+		g := 1 + int(gu)%4
+		w := 1 + int(wu)%4
+		sg := pops.New(tt, g).StackGraph()
+		frame := control.TDMAFrame(sg)
+		c := Compress(frame, w)
+		if ValidateWDM(c, sg, w) != nil {
+			return false
+		}
+		return c.Slots() <= frame.Slots() && c.Transmissions() == frame.Transmissions()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: CompressIndependent output length equals the max over
+// couplers of ceil(load/w) and over nodes of their request counts...
+// at least the resource lower bound, and every batch entry is placed once.
+func TestCompressIndependentProperty(t *testing.T) {
+	p := pops.New(3, 3)
+	sg := p.StackGraph()
+	f := func(seed int64, wu uint8) bool {
+		w := 1 + int(wu)%3
+		rng := rand.New(rand.NewSource(seed))
+		var batch []collective.Transmission
+		for i := 0; i < 30; i++ {
+			g := rng.Intn(3)
+			m := rng.Intn(3)
+			j := rng.Intn(3)
+			batch = append(batch, collective.Transmission{
+				Node: p.NodeID(g, m), Coupler: p.CouplerIndex(g, j),
+			})
+		}
+		// Deduplicate same node appearing twice is fine (different rounds).
+		s := CompressIndependent(batch, w)
+		if ValidateWDM(s, sg, w) != nil {
+			return false
+		}
+		if s.Transmissions() != len(batch) {
+			return false
+		}
+		// Lower bound: max coupler load / w.
+		load := map[int]int{}
+		nodeLoad := map[int]int{}
+		lb := 1
+		for _, tr := range batch {
+			load[tr.Coupler]++
+			nodeLoad[tr.Node]++
+		}
+		for _, l := range load {
+			if b := (l + w - 1) / w; b > lb {
+				lb = b
+			}
+		}
+		for _, l := range nodeLoad {
+			if l > lb {
+				lb = l
+			}
+		}
+		return s.Slots() >= lb
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
