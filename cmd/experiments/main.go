@@ -27,6 +27,7 @@ import (
 	"otisnet/internal/pops"
 	"otisnet/internal/sim"
 	"otisnet/internal/stackkautz"
+	"otisnet/internal/sweep"
 )
 
 func main() {
@@ -192,41 +193,43 @@ func t7() string {
 	b.WriteString("comparable scale: SK(6,3,2) N=72 | POPS(9,8) N=72 | deBruijn(3,4) N=81 (point-to-point)\n\n")
 	b.WriteString("| network | traffic | rate | throughput/slot | avg latency | avg hops | per-node thr |\n")
 	b.WriteString("|---|---|---|---|---|---|---|\n")
-	type cand struct {
-		name string
-		topo sim.Topology
-	}
-	cands := []cand{
-		{"SK(6,3,2)", sim.NewStackTopology(stackkautz.New(6, 3, 2).StackGraph())},
-		{"POPS(9,8)", sim.NewStackTopology(pops.New(9, 8).StackGraph())},
-		{"deBruijn(3,4)", sim.NewPointToPointTopology(kautz.NewDeBruijn(3, 4).Digraph())},
-	}
+	cands := sweep.ComparableScaleTrio()
+	// Assemble the whole campaign as one scenario list (rows in table
+	// order, each with its display label) and fan it across the sweep
+	// worker pool; every point matches a sequential sim.Run bit for bit.
+	var points []sweep.Scenario
+	var labels []string
 	for _, rate := range []float64{0.05, 0.2, 0.5} {
 		for _, c := range cands {
-			m := sim.Run(c.topo, sim.UniformTraffic{Rate: rate}, 2000, 4000, sim.Config{Seed: 42})
-			fmt.Fprintf(&b, "| %s | uniform | %.2f | %.3f | %.2f | %.2f | %.4f |\n",
-				c.name, rate, m.Throughput(), m.AvgLatency(), m.AvgHops(),
-				m.Throughput()/float64(c.topo.Nodes()))
+			points = append(points, sweep.Scenario{
+				Topology: c, TrafficName: "uniform", Rate: rate, Seed: 42,
+				Slots: 2000, Drain: 4000,
+			})
+			labels = append(labels, c.Name)
 		}
 	}
 	for _, c := range cands {
-		m := sim.Run(c.topo, sim.HotspotTraffic{Rate: 0.2, Hot: 0, Fraction: 0.3},
-			2000, 6000, sim.Config{Seed: 42})
-		fmt.Fprintf(&b, "| %s | hotspot | 0.20 | %.3f | %.2f | %.2f | %.4f |\n",
-			c.name, m.Throughput(), m.AvgLatency(), m.AvgHops(),
-			m.Throughput()/float64(c.topo.Nodes()))
+		points = append(points, sweep.Scenario{
+			Topology: c, TrafficName: "hotspot", Rate: 0.2, Seed: 42,
+			Traffic: sim.HotspotTraffic{Rate: 0.2, Hot: 0, Fraction: 0.3},
+			Slots:   2000, Drain: 6000,
+		})
+		labels = append(labels, c.Name)
 	}
-	// Deflection ablation on SK.
-	for _, deflect := range []bool{false, true} {
-		m := sim.Run(cands[0].topo, sim.UniformTraffic{Rate: 0.5}, 2000, 4000,
-			sim.Config{Seed: 42, Deflection: deflect})
-		mode := "store-and-forward"
-		if deflect {
-			mode = "hot-potato"
-		}
-		fmt.Fprintf(&b, "| SK(6,3,2) %s | uniform | 0.50 | %.3f | %.2f | %.2f | %.4f |\n",
-			mode, m.Throughput(), m.AvgLatency(), m.AvgHops(),
-			m.Throughput()/float64(cands[0].topo.Nodes()))
+	// Deflection ablation on SK: rows carry the routing mode.
+	for _, mode := range []sweep.Mode{sweep.StoreAndForward, sweep.Deflection} {
+		points = append(points, sweep.Scenario{
+			Topology: cands[0], TrafficName: "uniform", Rate: 0.5, Seed: 42,
+			Mode: mode, Slots: 2000, Drain: 4000,
+		})
+		labels = append(labels, fmt.Sprintf("%s %s", cands[0].Name, mode))
+	}
+	results := sweep.Runner{}.Run(points)
+	for i, r := range results {
+		s, m := r.Scenario, r.Metrics
+		fmt.Fprintf(&b, "| %s | %s | %.2f | %.3f | %.2f | %.2f | %.4f |\n",
+			labels[i], s.TrafficName, s.Rate, m.Throughput(), m.AvgLatency(), m.AvgHops(),
+			m.Throughput()/float64(s.Topology.Topo.Nodes()))
 	}
 	return b.String()
 }
@@ -318,12 +321,19 @@ func t11() string {
 	b.WriteString("SK(6,3,2), uniform rate 0.9, 1000 slots, no drain (saturation):\n\n")
 	b.WriteString("| wavelengths | delivered | throughput/slot | avg latency | peak queue |\n")
 	b.WriteString("|---|---|---|---|---|\n")
-	topo := sim.NewStackTopology(stackkautz.New(6, 3, 2).StackGraph())
-	for _, w := range []int{1, 2, 4, 8} {
-		m := sim.Run(topo, sim.UniformTraffic{Rate: 0.9}, 1000, 0,
-			sim.Config{Seed: 5, Wavelengths: w})
+	grid := sweep.Grid{
+		Topologies: []sweep.Topology{
+			{Name: "SK(6,3,2)", Topo: sim.NewStackTopology(stackkautz.New(6, 3, 2).StackGraph())},
+		},
+		Rates:       []float64{0.9},
+		Seeds:       []int64{5},
+		Wavelengths: []int{1, 2, 4, 8},
+		Slots:       1000,
+	}
+	for _, r := range (sweep.Runner{}).RunGrid(grid) {
+		m := r.Metrics
 		fmt.Fprintf(&b, "| %d | %d | %.3f | %.2f | %d |\n",
-			w, m.Delivered, m.Throughput(), m.AvgLatency(), m.PeakQueue)
+			r.Scenario.Wavelengths, m.Delivered, m.Throughput(), m.AvgLatency(), m.PeakQueue)
 	}
 	return b.String()
 }

@@ -3,26 +3,40 @@
 // and the de Bruijn point-to-point baseline, under uniform, permutation or
 // hotspot traffic, with store-and-forward or hot-potato deflection routing.
 //
+// One scenario at a time:
+//
 //	go run ./cmd/netsim -net sk -s 6 -d 3 -k 2 -rate 0.3 -slots 2000
 //	go run ./cmd/netsim -net pops -t 9 -g 8 -traffic hotspot -rate 0.2
 //	go run ./cmd/netsim -net debruijn -d 3 -k 4 -deflect
+//
+// Or a parallel scenario sweep (rates x seeds x modes fanned across a
+// worker pool, aggregated into a curve with mean/stddev over seeds):
+//
+//	go run ./cmd/netsim -net sk -sweep -rates 0.05,0.1,0.2,0.4 -seeds 5
+//	go run ./cmd/netsim -net all -sweep -rates 0.1,0.3 -seeds 3 -format csv
+//	go run ./cmd/netsim -net all -sweep -format json -raw
 package main
 
 import (
+	"encoding/csv"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"math/rand"
 	"os"
+	"strconv"
+	"strings"
 
 	"otisnet/internal/kautz"
 	"otisnet/internal/pops"
 	"otisnet/internal/sim"
 	"otisnet/internal/stackkautz"
+	"otisnet/internal/sweep"
 )
 
 func main() {
 	var (
-		net      = flag.String("net", "sk", `topology: "sk", "pops", "stackii" or "debruijn"`)
+		net      = flag.String("net", "sk", `topology: "sk", "pops", "stackii", "debruijn" or "all" (sweep only)`)
 		t        = flag.Int("t", 4, "POPS group size t")
 		g        = flag.Int("g", 4, "POPS group count g")
 		s        = flag.Int("s", 6, "stack network group size s")
@@ -39,32 +53,69 @@ func main() {
 		burst    = flag.Int("burst", 500, "messages for burst traffic")
 		waves    = flag.Int("wavelengths", 1, "wavelengths per coupler (WDM extension)")
 		saturate = flag.Bool("saturate", false, "binary-search the saturation rate instead of one run")
+
+		doSweep  = flag.Bool("sweep", false, "run a parallel scenario sweep instead of one run")
+		rateList = flag.String("rates", "0.05,0.1,0.2,0.4,0.8", "sweep: comma-separated offered loads")
+		seeds    = flag.Int("seeds", 3, "sweep: seeds per grid point (1..seeds)")
+		modes    = flag.String("modes", "sf", `sweep: comma list of "sf" and/or "deflect"`)
+		waveList = flag.String("waveset", "1", "sweep: comma-separated wavelength counts")
+		workers  = flag.Int("workers", 0, "sweep: worker goroutines (0 = GOMAXPROCS)")
+		format   = flag.String("format", "table", `sweep output: "table", "csv" or "json"`)
+		raw      = flag.Bool("raw", false, "sweep: emit raw per-seed results instead of the aggregated curve")
 	)
 	flag.Parse()
 
-	var topo sim.Topology
-	var desc string
-	switch *net {
-	case "sk":
-		nw := stackkautz.New(*s, *d, *k)
-		topo = sim.NewStackTopology(nw.StackGraph())
-		desc = fmt.Sprintf("SK(%d,%d,%d) N=%d couplers=%d", *s, *d, *k, nw.N(), nw.Couplers())
-	case "stackii":
-		nw := stackkautz.NewII(*s, *d, *n)
-		topo = sim.NewStackTopology(nw.StackGraph())
-		desc = fmt.Sprintf("stack-II(%d,%d,%d) N=%d couplers=%d", *s, *d, *n, nw.N(), nw.Couplers())
-	case "pops":
-		nw := pops.New(*t, *g)
-		topo = sim.NewStackTopology(nw.StackGraph())
-		desc = fmt.Sprintf("POPS(%d,%d) N=%d couplers=%d", *t, *g, nw.N(), nw.Couplers())
-	case "debruijn":
-		b := kautz.NewDeBruijn(*d, *k)
-		topo = sim.NewPointToPointTopology(b.Digraph())
-		desc = fmt.Sprintf("deBruijn(%d,%d) N=%d links=%d", *d, *k, b.N(), b.Digraph().M())
-	default:
-		fmt.Fprintf(os.Stderr, "netsim: unknown topology %q\n", *net)
-		os.Exit(2)
+	if *doSweep {
+		// Map explicitly set single-run flags into the grid so adding
+		// -sweep to an existing command line never silently drops them;
+		// setting both a legacy flag and its sweep counterpart is an error.
+		explicit := map[string]bool{}
+		flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+		conflicts := [][2]string{{"rate", "rates"}, {"deflect", "modes"}, {"wavelengths", "waveset"}, {"seed", "seeds"}}
+		for _, c := range conflicts {
+			if explicit[c[0]] && explicit[c[1]] {
+				fmt.Fprintf(os.Stderr, "netsim: -%s conflicts with -%s in sweep mode; use -%s\n", c[0], c[1], c[1])
+				os.Exit(2)
+			}
+		}
+		if *saturate {
+			// Saturation sweeps binary-search one seed per point; the rate
+			// and seed-count axes do not apply.
+			for _, f := range []string{"rates", "seeds"} {
+				if explicit[f] {
+					fmt.Fprintf(os.Stderr, "netsim: -%s has no effect with -sweep -saturate (use -seed for the search seed)\n", f)
+					os.Exit(2)
+				}
+			}
+		}
+		if *raw && explicit["format"] && *format == "table" {
+			fmt.Fprintln(os.Stderr, "netsim: -raw emits machine-readable output; use -format csv or json")
+			os.Exit(2)
+		}
+		o := sweepOpts{
+			net: *net, t: *t, g: *g, s: *s, d: *d, k: *k, n: *n,
+			traffic: *traffic, rates: *rateList, seeds: *seeds, modes: *modes,
+			waves: *waveList, slots: *slots, drain: *drain, maxQ: *maxQ,
+			seed: *seed, workers: *workers, format: *format, raw: *raw,
+			saturate: *saturate,
+		}
+		if explicit["rate"] {
+			o.rates = fmt.Sprintf("%g", *rate)
+		}
+		if explicit["deflect"] && *deflect {
+			o.modes = "deflect"
+		}
+		if explicit["wavelengths"] {
+			o.waves = fmt.Sprintf("%d", *waves)
+		}
+		if explicit["seed"] {
+			o.seedList = []int64{*seed}
+		}
+		runSweep(o)
+		return
 	}
+
+	topo, desc := buildTopology(*net, *t, *g, *s, *d, *k, *n)
 	if err := sim.CheckTopology(topo); err != nil {
 		fmt.Fprintf(os.Stderr, "netsim: %v\n", err)
 		os.Exit(1)
@@ -100,4 +151,231 @@ func main() {
 	fmt.Printf("%s  traffic=%s rate=%.2f mode=%s\n", desc, *traffic, *rate, mode)
 	fmt.Println(m)
 	fmt.Printf("per-node throughput: %.4f msgs/slot/node\n", m.Throughput()/float64(topo.Nodes()))
+}
+
+func buildTopology(net string, t, g, s, d, k, n int) (sim.Topology, string) {
+	switch net {
+	case "sk":
+		nw := stackkautz.New(s, d, k)
+		return sim.NewStackTopology(nw.StackGraph()),
+			fmt.Sprintf("SK(%d,%d,%d) N=%d couplers=%d", s, d, k, nw.N(), nw.Couplers())
+	case "stackii":
+		nw := stackkautz.NewII(s, d, n)
+		return sim.NewStackTopology(nw.StackGraph()),
+			fmt.Sprintf("stack-II(%d,%d,%d) N=%d couplers=%d", s, d, n, nw.N(), nw.Couplers())
+	case "pops":
+		nw := pops.New(t, g)
+		return sim.NewStackTopology(nw.StackGraph()),
+			fmt.Sprintf("POPS(%d,%d) N=%d couplers=%d", t, g, nw.N(), nw.Couplers())
+	case "debruijn":
+		b := kautz.NewDeBruijn(d, k)
+		return sim.NewPointToPointTopology(b.Digraph()),
+			fmt.Sprintf("deBruijn(%d,%d) N=%d links=%d", d, k, b.N(), b.Digraph().M())
+	default:
+		fmt.Fprintf(os.Stderr, "netsim: unknown topology %q\n", net)
+		os.Exit(2)
+		panic("unreachable")
+	}
+}
+
+type sweepOpts struct {
+	net                 string
+	t, g, s, d, k, n    int
+	traffic             string
+	rates, modes, waves string
+	seeds               int
+	seedList            []int64 // non-nil overrides seeds (explicit -seed)
+	slots, drain, maxQ  int
+	seed                int64
+	workers             int
+	format              string
+	raw                 bool
+	saturate            bool
+}
+
+func runSweep(o sweepOpts) {
+	switch o.format {
+	case "table", "csv", "json":
+	default:
+		fmt.Fprintf(os.Stderr, "netsim: bad sweep format %q (want table, csv or json)\n", o.format)
+		os.Exit(2)
+	}
+	var factory sweep.TrafficFactory
+	switch o.traffic {
+	case "uniform":
+		// Grid default; leave factory nil.
+	case "hotspot":
+		factory = func(rate float64) sim.Traffic {
+			return sim.HotspotTraffic{Rate: rate, Hot: 0, Fraction: 0.3}
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "netsim: traffic %q is not sweepable (want uniform or hotspot)\n", o.traffic)
+		os.Exit(2)
+	}
+	var topos []sweep.Topology
+	if o.net == "all" {
+		topos = sweep.ComparableScaleTrio()
+	} else {
+		topo, desc := buildTopology(o.net, o.t, o.g, o.s, o.d, o.k, o.n)
+		topos = []sweep.Topology{{Name: desc, Topo: topo}}
+	}
+	for _, tp := range topos {
+		if err := sim.CheckTopology(tp.Topo); err != nil {
+			fmt.Fprintf(os.Stderr, "netsim: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	seedAxis := o.seedList
+	if seedAxis == nil {
+		seedAxis = seedRange(o.seeds)
+	}
+	grid := sweep.Grid{
+		Topologies:  topos,
+		Rates:       parseFloats(o.rates),
+		Seeds:       seedAxis,
+		Modes:       parseModes(o.modes),
+		Wavelengths: parseInts(o.waves),
+		MaxQueue:    o.maxQ,
+		Slots:       o.slots,
+		Drain:       o.drain,
+		Traffic:     factory,
+		TrafficName: o.traffic,
+	}
+	runner := sweep.Runner{Workers: o.workers}
+
+	if o.saturate {
+		printSaturation(runner.Saturate(grid, o.slots, 0.95, o.seed), o.format)
+		return
+	}
+
+	results := runner.RunGrid(grid)
+	switch {
+	case o.raw && o.format == "json":
+		must(sweep.WriteResultsJSON(os.Stdout, results))
+	case o.raw:
+		must(sweep.WriteResultsCSV(os.Stdout, results))
+	case o.format == "json":
+		must(sweep.WriteCurveJSON(os.Stdout, sweep.Aggregate(results)))
+	case o.format == "csv":
+		must(sweep.WriteCurveCSV(os.Stdout, sweep.Aggregate(results)))
+	default:
+		printCurveTable(sweep.Aggregate(results))
+	}
+}
+
+// printSaturation emits saturation points in the requested format; CSV goes
+// through encoding/csv so topology names containing commas stay one field.
+func printSaturation(pts []sweep.SaturationPoint, format string) {
+	switch format {
+	case "json":
+		type satJSON struct {
+			Topology    string  `json:"topology"`
+			Mode        string  `json:"mode"`
+			Wavelengths int     `json:"wavelengths"`
+			Rate        float64 `json:"saturation_rate"`
+		}
+		out := make([]satJSON, len(pts))
+		for i, p := range pts {
+			out[i] = satJSON{p.Topology, p.Mode.String(), p.Wavelengths, p.Rate}
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		must(enc.Encode(out))
+	case "csv":
+		cw := csv.NewWriter(os.Stdout)
+		must(cw.Write([]string{"topology", "mode", "wavelengths", "saturation_rate"}))
+		for _, p := range pts {
+			must(cw.Write([]string{p.Topology, p.Mode.String(),
+				fmt.Sprintf("%d", p.Wavelengths), fmt.Sprintf("%.4f", p.Rate)}))
+		}
+		cw.Flush()
+		must(cw.Error())
+	default:
+		fmt.Printf("%-32s %-18s %4s  %s\n", "topology", "mode", "w", "saturation rate")
+		for _, p := range pts {
+			fmt.Printf("%-32s %-18s %4d  %.4f\n", p.Topology, p.Mode, p.Wavelengths, p.Rate)
+		}
+	}
+}
+
+func printCurveTable(curve []sweep.CurvePoint) {
+	fmt.Printf("%-16s %-6s %-18s %4s  %-18s %-16s %-10s %-8s\n",
+		"topology", "rate", "mode", "w", "thr/slot (±std)", "latency (±std)", "hops", "del%")
+	for _, p := range curve {
+		fmt.Printf("%-16s %-6.3g %-18s %4d  %8.3f ±%-8.3f %8.2f ±%-6.2f %-10.2f %-8.1f\n",
+			p.Topology, p.Rate, p.Mode, p.Wavelengths,
+			p.Throughput.Mean, p.Throughput.Std,
+			p.Latency.Mean, p.Latency.Std,
+			p.Hops.Mean, 100*p.DeliveredFrac.Mean)
+	}
+}
+
+func parseFloats(s string) []float64 {
+	var out []float64
+	for _, f := range strings.Split(s, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		v, err := strconv.ParseFloat(f, 64)
+		if err != nil || v < 0 || v > 1 {
+			fmt.Fprintf(os.Stderr, "netsim: bad rate %q (want a probability in [0,1])\n", f)
+			os.Exit(2)
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+func parseInts(s string) []int {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		v, err := strconv.Atoi(f)
+		if err != nil || v < 1 {
+			fmt.Fprintf(os.Stderr, "netsim: bad wavelength count %q (want an integer >= 1)\n", f)
+			os.Exit(2)
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+func parseModes(s string) []sweep.Mode {
+	var out []sweep.Mode
+	for _, f := range strings.Split(s, ",") {
+		switch strings.TrimSpace(f) {
+		case "sf":
+			out = append(out, sweep.StoreAndForward)
+		case "deflect":
+			out = append(out, sweep.Deflection)
+		case "":
+		default:
+			fmt.Fprintf(os.Stderr, "netsim: bad mode %q (want sf or deflect)\n", f)
+			os.Exit(2)
+		}
+	}
+	return out
+}
+
+func seedRange(n int) []int64 {
+	if n < 1 {
+		n = 1
+	}
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = int64(i + 1)
+	}
+	return out
+}
+
+func must(err error) {
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "netsim: %v\n", err)
+		os.Exit(1)
+	}
 }

@@ -1,0 +1,3 @@
+module otisnet
+
+go 1.24

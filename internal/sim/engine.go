@@ -85,39 +85,47 @@ func (m Metrics) String() string {
 		m.Throughput(), m.AvgLatency(), m.AvgHops(), m.PeakQueue, m.Deflections)
 }
 
-// Engine simulates a Topology slot by slot.
+// Engine simulates a Topology slot by slot. Its hot path (Step) is
+// allocation-free in steady state: queues are ring buffers and all per-slot
+// working sets live in reusable scratch buffers sized once at construction.
 type Engine struct {
 	topo   Topology
 	cfg    Config
 	rng    *rand.Rand
-	queues [][]Message
+	queues []ring
 	// rr holds per-coupler round-robin grant cursors for fairness.
 	rr      []int
 	nextID  int
 	slot    int
+	backlog int // queued messages, tracked incrementally
 	metrics Metrics
+	// Reusable per-step scratch; cleared (not reallocated) every slot.
+	requests  []txRequest
+	byCoupler [][]int       // coupler -> request indices
+	granted   [][]txRequest // coupler -> granted transmissions
+	winners   []bool        // node -> won arbitration this slot
 }
 
 // NewEngine prepares a simulation over the topology.
 func NewEngine(topo Topology, cfg Config) *Engine {
 	return &Engine{
-		topo:   topo,
-		cfg:    cfg,
-		rng:    rand.New(rand.NewSource(cfg.Seed)),
-		queues: make([][]Message, topo.Nodes()),
-		rr:     make([]int, topo.Couplers()),
+		topo:      topo,
+		cfg:       cfg,
+		rng:       rand.New(rand.NewSource(cfg.Seed)),
+		queues:    make([]ring, topo.Nodes()),
+		rr:        make([]int, topo.Couplers()),
+		byCoupler: make([][]int, topo.Couplers()),
+		granted:   make([][]txRequest, topo.Couplers()),
+		winners:   make([]bool, topo.Nodes()),
 	}
 }
 
 // Metrics returns a snapshot of the accumulated metrics, with Backlog and
-// Slots refreshed.
+// Slots refreshed. Backlog is tracked incrementally, so this is O(1).
 func (e *Engine) Metrics() Metrics {
 	m := e.metrics
 	m.Slots = e.slot
-	m.Backlog = 0
-	for _, q := range e.queues {
-		m.Backlog += len(q)
-	}
+	m.Backlog = e.backlog
 	return m
 }
 
@@ -132,14 +140,21 @@ func (e *Engine) Inject(src, dst int) {
 }
 
 func (e *Engine) enqueue(node int, msg Message) {
-	if e.cfg.MaxQueue > 0 && len(e.queues[node]) >= e.cfg.MaxQueue {
+	if e.cfg.MaxQueue > 0 && e.queues[node].len() >= e.cfg.MaxQueue {
 		e.metrics.Dropped++
 		return
 	}
-	e.queues[node] = append(e.queues[node], msg)
-	if len(e.queues[node]) > e.metrics.PeakQueue {
-		e.metrics.PeakQueue = len(e.queues[node])
+	e.queues[node].push(msg)
+	e.backlog++
+	if e.queues[node].len() > e.metrics.PeakQueue {
+		e.metrics.PeakQueue = e.queues[node].len()
 	}
+}
+
+// dequeue pops the head-of-line message at node, keeping backlog in sync.
+func (e *Engine) dequeue(node int) Message {
+	e.backlog--
+	return e.queues[node].pop()
 }
 
 // Step advances the simulation by one slot: arbitration, transmission,
@@ -148,62 +163,63 @@ func (e *Engine) Step() {
 	// Phase 1: each node with a queued message requests its preferred
 	// coupler for the head-of-line message. Everything below iterates in
 	// coupler or node order so runs are deterministic for a given seed.
-	var requests []txRequest
-	byCoupler := make([][]int, e.topo.Couplers()) // coupler -> request indices
+	e.requests = e.requests[:0]
+	for c := range e.byCoupler {
+		e.byCoupler[c] = e.byCoupler[c][:0]
+		e.granted[c] = e.granted[c][:0]
+	}
 	for u := 0; u < e.topo.Nodes(); u++ {
-		if len(e.queues[u]) == 0 {
+		if e.queues[u].len() == 0 {
 			continue
 		}
-		msg := e.queues[u][0]
+		msg := e.queues[u].front()
 		c, hop := e.topo.NextCoupler(u, msg.Dst)
 		if c < 0 {
 			// Unroutable (should not happen on the strongly connected
 			// topologies used here); drop defensively.
-			e.queues[u] = e.queues[u][1:]
+			e.dequeue(u)
 			e.metrics.Dropped++
 			continue
 		}
-		requests = append(requests, txRequest{node: u, coupler: c, nextHop: hop})
-		byCoupler[c] = append(byCoupler[c], len(requests)-1)
+		e.requests = append(e.requests, txRequest{node: u, coupler: c, nextHop: hop})
+		e.byCoupler[c] = append(e.byCoupler[c], len(e.requests)-1)
 	}
 
 	// Phase 2: per-coupler arbitration — round-robin over node ids so no
 	// node starves. With W wavelengths each coupler grants up to W senders.
 	w := e.cfg.wavelengths()
-	granted := make([][]txRequest, e.topo.Couplers())
-	winners := make(map[int]bool) // node ids that won somewhere
 	for c := 0; c < e.topo.Couplers(); c++ {
-		idxs := byCoupler[c]
+		idxs := e.byCoupler[c]
 		if len(idxs) == 0 {
 			continue
 		}
 		// Sort candidates by round-robin key and take the first W.
-		sortByRRKey(idxs, requests, e.rr[c], e.topo.Nodes())
+		sortByRRKey(idxs, e.requests, e.rr[c], e.topo.Nodes())
 		take := w
 		if take > len(idxs) {
 			take = len(idxs)
 		}
 		for _, i := range idxs[:take] {
-			granted[c] = append(granted[c], requests[i])
-			winners[requests[i].node] = true
+			e.granted[c] = append(e.granted[c], e.requests[i])
+			e.winners[e.requests[i].node] = true
 		}
-		e.rr[c] = (requests[idxs[take-1]].node + 1) % e.topo.Nodes()
+		e.rr[c] = (e.requests[idxs[take-1]].node + 1) % e.topo.Nodes()
 	}
 
 	// Phase 3 (deflection only): losers grab any coupler that is still
 	// free on their node; the message is deflected toward the head node
 	// closest to its destination.
 	if e.cfg.Deflection {
-		for _, r := range requests {
-			if winners[r.node] {
+		for _, r := range e.requests {
+			if e.winners[r.node] {
 				continue
 			}
 			for _, c := range e.topo.OutCouplers(r.node) {
-				if len(granted[c]) >= w {
+				if len(e.granted[c]) >= w {
 					continue
 				}
 				// Deflect toward the best head on this coupler.
-				msg := e.queues[r.node][0]
+				msg := e.queues[r.node].front()
 				bestHop, bestDist := -1, 1<<30
 				for _, h := range e.topo.Heads(c) {
 					if d := e.topo.Distance(h, msg.Dst); d >= 0 && d < bestDist {
@@ -214,8 +230,8 @@ func (e *Engine) Step() {
 				if bestHop < 0 {
 					continue
 				}
-				granted[c] = append(granted[c], txRequest{node: r.node, coupler: c, nextHop: bestHop})
-				winners[r.node] = true
+				e.granted[c] = append(e.granted[c], txRequest{node: r.node, coupler: c, nextHop: bestHop})
+				e.winners[r.node] = true
 				e.metrics.Deflections++
 				break
 			}
@@ -226,9 +242,8 @@ func (e *Engine) Step() {
 	// delivered if the destination hears the coupler, else relayed to the
 	// chosen next hop.
 	for c := 0; c < e.topo.Couplers(); c++ {
-		for _, r := range granted[c] {
-			msg := e.queues[r.node][0]
-			e.queues[r.node] = e.queues[r.node][1:]
+		for _, r := range e.granted[c] {
+			msg := e.dequeue(r.node)
 			msg.Hops++
 			delivered := false
 			for _, h := range e.topo.Heads(r.coupler) {
@@ -245,6 +260,11 @@ func (e *Engine) Step() {
 				e.enqueue(r.nextHop, msg)
 			}
 		}
+	}
+	// Reset the winners set for the next slot; only nodes that requested
+	// this slot can be marked, so this touches exactly the dirty entries.
+	for _, r := range e.requests {
+		e.winners[r.node] = false
 	}
 	e.slot++
 }

@@ -1,0 +1,55 @@
+package sim
+
+// ring is a growable FIFO queue of messages backed by a circular buffer.
+// Unlike the naive `q = q[1:]` slice shift, popping never abandons prefix
+// capacity, so sustained traffic reaches a steady state where no step
+// allocates: the buffer grows (amortized doubling) only while the queue's
+// high-water mark is still rising.
+type ring struct {
+	buf  []Message
+	head int
+	n    int
+}
+
+func (r *ring) len() int { return r.n }
+
+// front returns a pointer to the oldest message. Only valid when len() > 0.
+func (r *ring) front() *Message { return &r.buf[r.head] }
+
+func (r *ring) push(m Message) {
+	if r.n == len(r.buf) {
+		r.grow()
+	}
+	i := r.head + r.n
+	if i >= len(r.buf) {
+		i -= len(r.buf)
+	}
+	r.buf[i] = m
+	r.n++
+}
+
+func (r *ring) pop() Message {
+	m := r.buf[r.head]
+	r.head++
+	if r.head == len(r.buf) {
+		r.head = 0
+	}
+	r.n--
+	return m
+}
+
+func (r *ring) grow() {
+	capNew := 2 * len(r.buf)
+	if capNew < 4 {
+		capNew = 4
+	}
+	buf := make([]Message, capNew)
+	for i := 0; i < r.n; i++ {
+		j := r.head + i
+		if j >= len(r.buf) {
+			j -= len(r.buf)
+		}
+		buf[i] = r.buf[j]
+	}
+	r.buf, r.head = buf, 0
+}

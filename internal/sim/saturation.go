@@ -8,8 +8,20 @@ package sim
 // "saturation throughput" figure style of the multihop lightwave
 // literature.
 func SaturationSearch(topo Topology, slots int, sustainFraction float64, cfg Config) float64 {
+	return SaturationSearchTraffic(topo, UniformAtRate, slots, sustainFraction, cfg)
+}
+
+// UniformAtRate is the default rate-parameterized traffic model used by
+// SaturationSearch: uniform destinations at the given per-node rate.
+func UniformAtRate(rate float64) Traffic { return UniformTraffic{Rate: rate} }
+
+// SaturationSearchTraffic generalizes SaturationSearch to any
+// rate-parameterized traffic family. The search is deterministic for a
+// given (topology, traffic family, slots, fraction, config), so concurrent
+// callers (e.g. a sweep worker pool) reproduce single-run results exactly.
+func SaturationSearchTraffic(topo Topology, traffic func(rate float64) Traffic, slots int, sustainFraction float64, cfg Config) float64 {
 	sustains := func(rate float64) bool {
-		m := Run(topo, UniformTraffic{Rate: rate}, slots, slots, cfg)
+		m := Run(topo, traffic(rate), slots, slots, cfg)
 		if m.Injected == 0 {
 			return true
 		}

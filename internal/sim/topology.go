@@ -36,19 +36,47 @@ type Topology interface {
 	Distance(u, dst int) int
 }
 
+// routeEntry is a precomputed routing decision: the coupler to request and
+// the preferred next-hop node. coupler < 0 means "no route" (or "already
+// there" when nextHop equals the destination).
+type routeEntry struct {
+	coupler int32
+	nextHop int32
+}
+
+// buildRouteTable precomputes route[u][dst] for every ordered pair using
+// the provided per-pair oracle, turning NextCoupler into an O(1) lookup on
+// the simulation hot path. The oracle is only consulted once per pair, at
+// construction time.
+func buildRouteTable(n int, next func(u, dst int) (int, int)) [][]routeEntry {
+	route := make([][]routeEntry, n)
+	flat := make([]routeEntry, n*n) // one backing array, n row views
+	for u := 0; u < n; u++ {
+		row := flat[u*n : (u+1)*n : (u+1)*n]
+		for dst := 0; dst < n; dst++ {
+			c, hop := next(u, dst)
+			row[dst] = routeEntry{coupler: int32(c), nextHop: int32(hop)}
+		}
+		route[u] = row
+	}
+	return route
+}
+
 // stackTopology adapts a stack-graph (multi-OPS network) with precomputed
-// shortest-path next-hop tables.
+// shortest-path next-hop and routing tables.
 type stackTopology struct {
-	sg   *hypergraph.StackGraph
-	out  [][]int
-	dist [][]int // dist[u][v] on the underlying digraph
-	und  *digraph.Digraph
+	sg    *hypergraph.StackGraph
+	out   [][]int
+	dist  [][]int // dist[u][v] on the underlying digraph
+	route [][]routeEntry
+	und   *digraph.Digraph
 }
 
 // NewStackTopology wraps a stack-graph for simulation. The underlying
 // point-to-point reachability digraph is used for distances; routing takes,
 // at each hop, a coupler whose head set contains a node strictly closer to
-// the destination.
+// the destination. All routing decisions are precomputed so the per-slot
+// NextCoupler call is a table lookup.
 func NewStackTopology(sg *hypergraph.StackGraph) Topology {
 	st := &stackTopology{sg: sg, und: sg.UnderlyingDigraph()}
 	n := sg.N()
@@ -60,6 +88,7 @@ func NewStackTopology(sg *hypergraph.StackGraph) Topology {
 	for u := 0; u < n; u++ {
 		st.dist[u] = st.und.BFS(u)
 	}
+	st.route = buildRouteTable(n, st.scanNextCoupler)
 	return st
 }
 
@@ -71,6 +100,15 @@ func (st *stackTopology) Heads(c int) []int       { return st.sg.Hyperarc(c).Hea
 func (st *stackTopology) Distance(u, dst int) int { return st.dist[u][dst] }
 
 func (st *stackTopology) NextCoupler(u, dst int) (int, int) {
+	r := st.route[u][dst]
+	return int(r.coupler), int(r.nextHop)
+}
+
+// scanNextCoupler is the construction-time routing oracle: pick the coupler
+// whose head set contains the node strictly closest to the destination,
+// scanning couplers and heads in topology order so ties break exactly as
+// the pre-table implementation did (determinism of seeded runs).
+func (st *stackTopology) scanNextCoupler(u, dst int) (int, int) {
 	if u == dst {
 		return -1, u
 	}
@@ -91,14 +129,16 @@ func (st *stackTopology) NextCoupler(u, dst int) (int, int) {
 // pointToPoint adapts a digraph as a single-OPS-per-arc network: every arc
 // is its own degree-1 coupler.
 type pointToPoint struct {
-	g    *digraph.Digraph
-	out  [][]int // coupler ids per node
-	head []int   // head node per coupler
-	dist [][]int
+	g     *digraph.Digraph
+	out   [][]int // coupler ids per node
+	head  []int   // head node per coupler
+	dist  [][]int
+	route [][]routeEntry
 }
 
 // NewPointToPointTopology wraps a digraph where each arc is a dedicated
-// point-to-point optical link (the single-OPS baseline).
+// point-to-point optical link (the single-OPS baseline). Routing decisions
+// are precomputed into a full table, as for stack topologies.
 func NewPointToPointTopology(g *digraph.Digraph) Topology {
 	pt := &pointToPoint{g: g}
 	pt.out = make([][]int, g.N())
@@ -111,6 +151,7 @@ func NewPointToPointTopology(g *digraph.Digraph) Topology {
 	for u := 0; u < g.N(); u++ {
 		pt.dist[u] = g.BFS(u)
 	}
+	pt.route = buildRouteTable(g.N(), pt.scanNextCoupler)
 	return pt
 }
 
@@ -121,6 +162,13 @@ func (pt *pointToPoint) Heads(c int) []int       { return pt.head[c : c+1] }
 func (pt *pointToPoint) Distance(u, dst int) int { return pt.dist[u][dst] }
 
 func (pt *pointToPoint) NextCoupler(u, dst int) (int, int) {
+	r := pt.route[u][dst]
+	return int(r.coupler), int(r.nextHop)
+}
+
+// scanNextCoupler is the construction-time oracle: first out-arc whose head
+// is strictly closer to the destination (same tie-break as before).
+func (pt *pointToPoint) scanNextCoupler(u, dst int) (int, int) {
 	if u == dst {
 		return -1, u
 	}

@@ -1,0 +1,276 @@
+// Package sweep fans grids of simulation scenarios across a worker pool.
+//
+// The single-point entry points of package sim (Run, SaturationSearch)
+// answer one (topology, traffic, seed, config) question at a time; a paper
+// campaign or a capacity-planning study needs hundreds of such points —
+// every topology at every offered load, several seeds per point for error
+// bars, with and without deflection, across wavelength counts. Package
+// sweep expands such a grid into concrete scenarios, runs them across
+// goroutines, and aggregates the per-point metrics into saturation curves
+// with mean/stddev over seeds.
+//
+// Every scenario is executed by the same sim.Run the sequential code path
+// uses, with its own seeded RNG, so a sweep reproduces single-run numbers
+// bit-for-bit regardless of worker count or scheduling order.
+package sweep
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"otisnet/internal/sim"
+)
+
+// Mode selects the contention-resolution discipline of a scenario.
+type Mode int
+
+const (
+	// StoreAndForward queues losing messages (the paper's default).
+	StoreAndForward Mode = iota
+	// Deflection re-routes losing messages hot-potato style.
+	Deflection
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	if m == Deflection {
+		return "hot-potato"
+	}
+	return "store-and-forward"
+}
+
+// Topology pairs a simulation topology with a display name.
+type Topology struct {
+	Name string
+	Topo sim.Topology
+}
+
+// TrafficFactory builds a traffic model for a given offered load. The
+// returned model must be safe for use by a single engine; factories are
+// invoked once per scenario.
+type TrafficFactory func(rate float64) sim.Traffic
+
+// Scenario is one fully specified simulation point.
+type Scenario struct {
+	Topology    Topology
+	TrafficName string
+	Traffic     sim.Traffic // nil means uniform at Rate
+	Rate        float64
+	Seed        int64
+	Mode        Mode
+	Wavelengths int
+	MaxQueue    int
+	Slots       int
+	Drain       int
+}
+
+// Config translates the scenario into the engine configuration.
+func (s Scenario) Config() sim.Config {
+	return sim.Config{
+		Seed:        s.Seed,
+		MaxQueue:    s.MaxQueue,
+		Deflection:  s.Mode == Deflection,
+		Wavelengths: s.Wavelengths,
+	}
+}
+
+// traffic returns the scenario's traffic model, defaulting to uniform.
+func (s Scenario) traffic() sim.Traffic {
+	if s.Traffic != nil {
+		return s.Traffic
+	}
+	return sim.UniformTraffic{Rate: s.Rate}
+}
+
+// Grid is a cross-product description of scenarios. Zero-valued axes get
+// sensible defaults so callers only set what they vary.
+type Grid struct {
+	Topologies  []Topology
+	Rates       []float64
+	Seeds       []int64
+	Modes       []Mode
+	Wavelengths []int
+	MaxQueue    int
+	Slots       int
+	Drain       int
+	// Traffic builds the traffic model per rate; nil means uniform.
+	Traffic     TrafficFactory
+	TrafficName string
+}
+
+// Points expands the grid into scenarios in deterministic order:
+// topology-major, then rate, mode, wavelengths, seed.
+func (g Grid) Points() []Scenario {
+	rates := g.Rates
+	if len(rates) == 0 {
+		rates = []float64{0.2}
+	}
+	seeds := g.Seeds
+	if len(seeds) == 0 {
+		seeds = []int64{1}
+	}
+	modes := g.Modes
+	if len(modes) == 0 {
+		modes = []Mode{StoreAndForward}
+	}
+	waves := g.Wavelengths
+	if len(waves) == 0 {
+		waves = []int{1}
+	}
+	slots := g.Slots
+	if slots == 0 {
+		slots = 1000
+	}
+	name := g.TrafficName
+	if name == "" {
+		name = "uniform"
+	}
+	var pts []Scenario
+	for _, topo := range g.Topologies {
+		for _, rate := range rates {
+			for _, mode := range modes {
+				for _, w := range waves {
+					for _, seed := range seeds {
+						// One factory call per scenario: Traffic values
+						// are never shared across engines/goroutines.
+						var tr sim.Traffic
+						if g.Traffic != nil {
+							tr = g.Traffic(rate)
+						}
+						pts = append(pts, Scenario{
+							Topology:    topo,
+							TrafficName: name,
+							Traffic:     tr,
+							Rate:        rate,
+							Seed:        seed,
+							Mode:        mode,
+							Wavelengths: w,
+							MaxQueue:    g.MaxQueue,
+							Slots:       slots,
+							Drain:       g.Drain,
+						})
+					}
+				}
+			}
+		}
+	}
+	return pts
+}
+
+// Result pairs a scenario with its measured metrics.
+type Result struct {
+	Scenario Scenario
+	Metrics  sim.Metrics
+}
+
+// Runner executes scenarios across a pool of goroutines.
+type Runner struct {
+	// Workers is the pool size; <= 0 means GOMAXPROCS.
+	Workers int
+}
+
+func (r Runner) workers() int {
+	if r.Workers > 0 {
+		return r.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Run executes every scenario and returns results in input order. Each
+// scenario gets a private engine and RNG; topologies are shared read-only,
+// so the same sim.Topology value may appear in many scenarios.
+func (r Runner) Run(points []Scenario) []Result {
+	results := make([]Result, len(points))
+	r.fan(len(points), func(i int) {
+		p := points[i]
+		results[i] = Result{
+			Scenario: p,
+			Metrics:  sim.Run(p.Topology.Topo, p.traffic(), p.Slots, p.Drain, p.Config()),
+		}
+	})
+	return results
+}
+
+// RunGrid expands the grid and runs it.
+func (r Runner) RunGrid(g Grid) []Result { return r.Run(g.Points()) }
+
+// SaturationPoint is the saturation rate of one (topology, mode,
+// wavelengths) combination.
+type SaturationPoint struct {
+	Topology    string
+	Mode        Mode
+	Wavelengths int
+	Rate        float64
+}
+
+// Saturate binary-searches the saturation rate of every (topology, mode,
+// wavelengths) combination concurrently, delegating each point to
+// sim.SaturationSearchTraffic so results match sequential searches exactly.
+func (r Runner) Saturate(g Grid, slots int, sustainFraction float64, seed int64) []SaturationPoint {
+	modes := g.Modes
+	if len(modes) == 0 {
+		modes = []Mode{StoreAndForward}
+	}
+	waves := g.Wavelengths
+	if len(waves) == 0 {
+		waves = []int{1}
+	}
+	traffic := g.Traffic
+	if traffic == nil {
+		traffic = sim.UniformAtRate
+	}
+	var pts []SaturationPoint
+	var topos []sim.Topology
+	for _, topo := range g.Topologies {
+		for _, mode := range modes {
+			for _, w := range waves {
+				pts = append(pts, SaturationPoint{Topology: topo.Name, Mode: mode, Wavelengths: w})
+				topos = append(topos, topo.Topo)
+			}
+		}
+	}
+	r.fan(len(pts), func(i int) {
+		cfg := sim.Config{
+			Seed:        seed,
+			MaxQueue:    g.MaxQueue,
+			Deflection:  pts[i].Mode == Deflection,
+			Wavelengths: pts[i].Wavelengths,
+		}
+		pts[i].Rate = sim.SaturationSearchTraffic(topos[i], traffic, slots, sustainFraction, cfg)
+	})
+	return pts
+}
+
+// fan runs fn(0..n-1) across the worker pool and waits for completion.
+func (r Runner) fan(n int, fn func(i int)) {
+	workers := r.workers()
+	if workers > n {
+		workers = n
+	}
+	if n == 0 {
+		return
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+}
+
+// Label is a compact human-readable scenario identifier.
+func (s Scenario) Label() string {
+	return fmt.Sprintf("%s/%s r=%.3g w=%d seed=%d %s",
+		s.Topology.Name, s.TrafficName, s.Rate, s.Wavelengths, s.Seed, s.Mode)
+}
