@@ -6,6 +6,7 @@
 package otisnet
 
 import (
+	"math/rand"
 	"testing"
 
 	"otisnet/internal/analysis"
@@ -14,6 +15,7 @@ import (
 	"otisnet/internal/core"
 	"otisnet/internal/digraph"
 	"otisnet/internal/embed"
+	"otisnet/internal/faults"
 	"otisnet/internal/hypergraph"
 	"otisnet/internal/imase"
 	"otisnet/internal/kautz"
@@ -254,34 +256,113 @@ func BenchmarkT7SimThroughput(b *testing.B) {
 }
 
 // BenchmarkStepAllocFree drives the engine at a sustained sub-saturation
-// load (deterministic injection pattern, no per-slot traffic allocation)
-// and measures Engine.Step alone. After warmup the ring buffers and
-// arbitration scratch have reached their high-water marks, so steady-state
-// steps must report 0 B/op.
+// load and verifies the simulation hot path is allocation-free in steady
+// state: the "step" variant measures Engine.Step alone under a
+// deterministic injection pattern; the "run-loop" variant measures the
+// full sim.Run inner loop (Traffic.Generate into a reusable scratch,
+// Inject, Step). After warmup the ring buffers, arbitration scratch and
+// injection scratch have reached their high-water marks, so both variants
+// must report 0 B/op.
 func BenchmarkStepAllocFree(b *testing.B) {
 	topo := sim.NewStackTopology(stackkautz.New(6, 3, 2).StackGraph())
-	e := sim.NewEngine(topo, sim.Config{Seed: 1})
 	n := topo.Nodes()
-	slot := 0
-	step := func() {
-		// Rotating sources and destinations at per-node rate 1/8: below
-		// SK(6,3,2) saturation with no persistent hot flow, so queue
-		// lengths — and therefore ring capacities — stay bounded.
-		const stride = 8
-		off := 1 + (slot*7)%(n-1)
-		for u := slot % stride; u < n; u += stride {
-			e.Inject(u, (u+off)%n)
+	b.Run("step", func(b *testing.B) {
+		e := sim.NewEngine(topo, sim.Config{Seed: 1})
+		slot := 0
+		step := func() {
+			// Rotating sources and destinations at per-node rate 1/8: below
+			// SK(6,3,2) saturation with no persistent hot flow, so queue
+			// lengths — and therefore ring capacities — stay bounded.
+			const stride = 8
+			off := 1 + (slot*7)%(n-1)
+			for u := slot % stride; u < n; u += stride {
+				e.Inject(u, (u+off)%n)
+			}
+			e.Step()
+			slot++
 		}
-		e.Step()
-		slot++
+		for i := 0; i < 2000; i++ { // warmup to steady state
+			step()
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			step()
+		}
+	})
+	b.Run("run-loop", func(b *testing.B) {
+		e := sim.NewEngine(topo, sim.Config{Seed: 1})
+		traffic := sim.UniformTraffic{Rate: 0.15} // sub-saturation
+		rng := rand.New(rand.NewSource(2))
+		var buf []sim.Injection
+		slot := 0
+		step := func() {
+			buf = traffic.Generate(buf[:0], slot, n, rng)
+			for _, inj := range buf {
+				e.Inject(inj.Src, inj.Dst)
+			}
+			e.Step()
+			slot++
+		}
+		for i := 0; i < 5000; i++ { // warmup to steady state
+			step()
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			step()
+		}
+	})
+}
+
+// BenchmarkT6DynamicFaults is the live version of BenchmarkT6FaultRouting:
+// SK(6,3,2) with d-1 = 2 whole groups failing mid-run inside the engine,
+// which purges stranded messages and reroutes the survivors in ≤ k+2 hops
+// on the surviving structure (experiment T6D).
+func BenchmarkT6DynamicFaults(b *testing.B) {
+	const s, k = 6, 2
+	nw := stackkautz.New(s, 3, k)
+	topo := sim.NewStackTopology(nw.StackGraph())
+	var nodes []int
+	for _, g := range []int{2, 7} {
+		for m := 0; m < s; m++ {
+			nodes = append(nodes, g*s+m)
+		}
 	}
-	for i := 0; i < 2000; i++ { // warmup to steady state
-		step()
-	}
-	b.ReportAllocs()
+	ft := faults.Wrap(topo, faults.FixedNodes(100, nodes...))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		step()
+		m := sim.Run(ft, sim.UniformTraffic{Rate: 0.2}, 300, 300, sim.Config{Seed: int64(i)})
+		if m.Delivered == 0 || m.LostToFaults+m.Unroutable == 0 {
+			b.Fatal("fault injection had no effect")
+		}
+	}
+}
+
+// BenchmarkFaultSweepDegradation fans the fault-count degradation sweep
+// (node faults 0..3 x 2 seeds on SK(6,3,2)) across the worker pool and
+// aggregates the throughput-degradation curve.
+func BenchmarkFaultSweepDegradation(b *testing.B) {
+	specs := make([]faults.Spec, 0, 4)
+	for f := 0; f <= 3; f++ {
+		specs = append(specs, faults.Spec{Kind: faults.KindNode, Count: f, Slot: 0, Seed: 99})
+	}
+	grid := sweep.Grid{
+		Topologies: []sweep.Topology{
+			{Name: "SK(6,3,2)", Topo: sim.NewStackTopology(stackkautz.New(6, 3, 2).StackGraph())},
+		},
+		Rates:  []float64{0.5},
+		Seeds:  []int64{1, 2},
+		Slots:  200,
+		Drain:  200,
+		Faults: specs,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		curve := sweep.Aggregate(sweep.Runner{}.RunGrid(grid))
+		if len(curve) != 4 {
+			b.Fatalf("expected 4 curve points, got %d", len(curve))
+		}
 	}
 }
 

@@ -20,6 +20,7 @@ import (
 	"otisnet/internal/control"
 	"otisnet/internal/core"
 	"otisnet/internal/digraph"
+	"otisnet/internal/faults"
 	"otisnet/internal/imase"
 	"otisnet/internal/kautz"
 	"otisnet/internal/otis"
@@ -31,7 +32,7 @@ import (
 )
 
 func main() {
-	only := flag.String("only", "", "run a single experiment (T1..T8)")
+	only := flag.String("only", "", "run a single experiment (T1..T12, T6D)")
 	flag.Parse()
 	experiments := []struct {
 		id  string
@@ -44,6 +45,7 @@ func main() {
 		{"T4", t4, "stack-Kautz parameters (§2.7, §4.2)"},
 		{"T5", t5, "design bills of materials (§4)"},
 		{"T6", t6, "fault-tolerant routing: ≤ k+2 hops under ≤ d-1 faults (§2.5)"},
+		{"T6D", t6d, "dynamic §2.5: live fault injection in the simulator vs RouteAvoiding"},
 		{"T7", t7, "traffic simulation: SK vs POPS vs de Bruijn"},
 		{"T8", t8, "OTIS viewed as an Imase-Itoh graph (conclusion)"},
 		{"T9", t9, "collective communication: schedule lengths vs lower bounds"},
@@ -184,6 +186,83 @@ func t6() string {
 		fmt.Fprintf(&b, "| %d | %d | %d | %d | %d | %d | %.1f%% |\n",
 			p.d, p.k, trials, survived, maxHops, p.k+2,
 			100*float64(familyHits)/float64(trials))
+	}
+	return b.String()
+}
+
+// t6d validates the §2.5 claim dynamically: whole groups of SK(6,3,2) fail
+// mid-run inside the live simulator, which reroutes on the surviving
+// structure; every message injected after the failures and delivered
+// between surviving groups must achieve exactly the path length
+// kautz.RouteAvoiding computes for its group pair, staying ≤ k+2 for up to
+// d-1 faults. The f = d row goes beyond the paper's guarantee.
+func t6d() string {
+	const s, d, k = 6, 3, 2
+	const failSlot, slots, drain = 100, 1200, 2000
+	nw := stackkautz.New(s, d, k)
+	kg := nw.Kautz()
+	base := sim.NewStackTopology(nw.StackGraph())
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "SK(%d,%d,%d), uniform rate 0.10, whole-group failures at slot %d; ", s, d, k, failSlot)
+	b.WriteString("post-fault deliveries between surviving groups are cross-checked against kautz.RouteAvoiding:\n\n")
+	b.WriteString("| group faults | delivered | checked | max hops | k+2 | = RouteAvoiding | throughput/slot | lost+unroutable |\n")
+	b.WriteString("|---|---|---|---|---|---|---|---|\n")
+	for f := 0; f <= d; f++ {
+		groupRng := rand.New(rand.NewSource(7))
+		faulty := map[int]bool{}
+		var nodes []int
+		for len(faulty) < f {
+			g := groupRng.Intn(kg.N())
+			if faulty[g] {
+				continue
+			}
+			faulty[g] = true
+			for m := 0; m < s; m++ {
+				nodes = append(nodes, g*s+m)
+			}
+		}
+		ft := faults.Wrap(base, faults.FixedNodes(failSlot, nodes...))
+		e := sim.NewEngine(ft, sim.Config{Seed: 11})
+		isFaulty := func(w kautz.Label) bool { return faulty[kg.Index(w)] }
+		checked, matches, maxHops := 0, 0, 0
+		e.OnDeliver = func(msg sim.Message, _ int) {
+			sg, dg := msg.Src/s, msg.Dst/s
+			if msg.Born < failSlot || faulty[sg] || faulty[dg] {
+				return
+			}
+			if msg.Hops > maxHops {
+				maxHops = msg.Hops
+			}
+			want := 1 // intra-group loop coupler
+			if sg != dg {
+				path, _ := kg.RouteAvoiding(kg.LabelOf(sg), kg.LabelOf(dg), isFaulty)
+				if path == nil {
+					return // group pair cut off (possible beyond d-1 faults)
+				}
+				want = len(path) - 1
+			}
+			checked++
+			if msg.Hops == want {
+				matches++
+			}
+		}
+		rng := rand.New(rand.NewSource(13))
+		var buf []sim.Injection
+		for slot := 0; slot < slots; slot++ {
+			buf = (sim.UniformTraffic{Rate: 0.1}).Generate(buf[:0], slot, base.Nodes(), rng)
+			for _, inj := range buf {
+				e.Inject(inj.Src, inj.Dst)
+			}
+			e.Step()
+		}
+		for slot := 0; slot < drain && e.Metrics().Backlog > 0; slot++ {
+			e.Step()
+		}
+		m := e.Metrics()
+		fmt.Fprintf(&b, "| %d | %d | %d | %d | %d | %d/%d | %.3f | %d |\n",
+			f, m.Delivered, checked, maxHops, k+2, matches, checked,
+			m.Throughput(), m.LostToFaults+m.Unroutable)
 	}
 	return b.String()
 }

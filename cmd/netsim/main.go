@@ -15,6 +15,14 @@
 //	go run ./cmd/netsim -net sk -sweep -rates 0.05,0.1,0.2,0.4 -seeds 5
 //	go run ./cmd/netsim -net all -sweep -rates 0.1,0.3 -seeds 3 -format csv
 //	go run ./cmd/netsim -net all -sweep -format json -raw
+//
+// Fault injection (§2.5 made dynamic): fail nodes, couplers or individual
+// transmitters mid-run, permanently or with an MTBF/MTTR process, and sweep
+// fault counts into a degradation curve:
+//
+//	go run ./cmd/netsim -net sk -faults 2 -faultslot 500
+//	go run ./cmd/netsim -net sk -faults 3 -faultkind tx -mtbf 200 -mttr 50
+//	go run ./cmd/netsim -net sk -sweep -faultset 0,1,2,3 -seeds 5 -format csv
 package main
 
 import (
@@ -27,6 +35,7 @@ import (
 	"strconv"
 	"strings"
 
+	"otisnet/internal/faults"
 	"otisnet/internal/kautz"
 	"otisnet/internal/pops"
 	"otisnet/internal/sim"
@@ -54,8 +63,15 @@ func main() {
 		waves    = flag.Int("wavelengths", 1, "wavelengths per coupler (WDM extension)")
 		saturate = flag.Bool("saturate", false, "binary-search the saturation rate instead of one run")
 
+		faultN    = flag.Int("faults", 0, "fault injection: number of elements to fail (0 = none)")
+		faultKind = flag.String("faultkind", "node", `fault injection: element kind, "node", "coupler" or "tx"`)
+		faultSlot = flag.Int("faultslot", 0, "fault injection: slot at which the failures strike")
+		mtbf      = flag.Float64("mtbf", 0, "fault injection: mean slots between failures (with -mttr: transient faults)")
+		mttr      = flag.Float64("mttr", 0, "fault injection: mean slots to repair")
+
 		doSweep  = flag.Bool("sweep", false, "run a parallel scenario sweep instead of one run")
 		rateList = flag.String("rates", "0.05,0.1,0.2,0.4,0.8", "sweep: comma-separated offered loads")
+		faultSet = flag.String("faultset", "", "sweep: comma-separated fault counts (degradation curve axis)")
 		seeds    = flag.Int("seeds", 3, "sweep: seeds per grid point (1..seeds)")
 		modes    = flag.String("modes", "sf", `sweep: comma list of "sf" and/or "deflect"`)
 		waveList = flag.String("waveset", "1", "sweep: comma-separated wavelength counts")
@@ -71,7 +87,7 @@ func main() {
 		// setting both a legacy flag and its sweep counterpart is an error.
 		explicit := map[string]bool{}
 		flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
-		conflicts := [][2]string{{"rate", "rates"}, {"deflect", "modes"}, {"wavelengths", "waveset"}, {"seed", "seeds"}}
+		conflicts := [][2]string{{"rate", "rates"}, {"deflect", "modes"}, {"wavelengths", "waveset"}, {"seed", "seeds"}, {"faults", "faultset"}}
 		for _, c := range conflicts {
 			if explicit[c[0]] && explicit[c[1]] {
 				fmt.Fprintf(os.Stderr, "netsim: -%s conflicts with -%s in sweep mode; use -%s\n", c[0], c[1], c[1])
@@ -87,6 +103,14 @@ func main() {
 					os.Exit(2)
 				}
 			}
+			// Runner.Saturate does not take a fault axis; reject fault flags
+			// rather than silently reporting healthy-network rates.
+			for _, f := range []string{"faults", "faultset", "faultkind", "faultslot", "mtbf", "mttr"} {
+				if explicit[f] {
+					fmt.Fprintf(os.Stderr, "netsim: -%s is not supported with -sweep -saturate (fault injection does not apply to saturation search)\n", f)
+					os.Exit(2)
+				}
+			}
 		}
 		if *raw && explicit["format"] && *format == "table" {
 			fmt.Fprintln(os.Stderr, "netsim: -raw emits machine-readable output; use -format csv or json")
@@ -98,9 +122,14 @@ func main() {
 			waves: *waveList, slots: *slots, drain: *drain, maxQ: *maxQ,
 			seed: *seed, workers: *workers, format: *format, raw: *raw,
 			saturate: *saturate,
+			faultSet: *faultSet, faultKind: *faultKind, faultSlot: *faultSlot,
+			mtbf: *mtbf, mttr: *mttr,
 		}
 		if explicit["rate"] {
 			o.rates = fmt.Sprintf("%g", *rate)
+		}
+		if explicit["faults"] {
+			o.faultSet = fmt.Sprintf("%d", *faultN)
 		}
 		if explicit["deflect"] && *deflect {
 			o.modes = "deflect"
@@ -119,6 +148,11 @@ func main() {
 	if err := sim.CheckTopology(topo); err != nil {
 		fmt.Fprintf(os.Stderr, "netsim: %v\n", err)
 		os.Exit(1)
+	}
+	spec := faultSpec(*faultKind, *faultN, *faultSlot, *mtbf, *mttr, *slots+*drain)
+	if !spec.IsZero() {
+		topo = spec.Wrap(topo, *seed)
+		desc += " faults=" + spec.Label()
 	}
 
 	var tr sim.Traffic
@@ -191,6 +225,9 @@ type sweepOpts struct {
 	format              string
 	raw                 bool
 	saturate            bool
+	faultSet, faultKind string
+	faultSlot           int
+	mtbf, mttr          float64
 }
 
 func runSweep(o sweepOpts) {
@@ -230,6 +267,19 @@ func runSweep(o sweepOpts) {
 	if seedAxis == nil {
 		seedAxis = seedRange(o.seeds)
 	}
+	var fspecs []faults.Spec
+	for _, f := range strings.Split(o.faultSet, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		count, err := strconv.Atoi(f)
+		if err != nil || count < 0 {
+			fmt.Fprintf(os.Stderr, "netsim: bad fault count %q (want an integer >= 0)\n", f)
+			os.Exit(2)
+		}
+		fspecs = append(fspecs, faultSpec(o.faultKind, count, o.faultSlot, o.mtbf, o.mttr, o.slots+o.drain))
+	}
 	grid := sweep.Grid{
 		Topologies:  topos,
 		Rates:       parseFloats(o.rates),
@@ -241,6 +291,7 @@ func runSweep(o sweepOpts) {
 		Drain:       o.drain,
 		Traffic:     factory,
 		TrafficName: o.traffic,
+		Faults:      fspecs,
 	}
 	runner := sweep.Runner{Workers: o.workers}
 
@@ -300,11 +351,22 @@ func printSaturation(pts []sweep.SaturationPoint, format string) {
 }
 
 func printCurveTable(curve []sweep.CurvePoint) {
-	fmt.Printf("%-16s %-6s %-18s %4s  %-18s %-16s %-10s %-8s\n",
+	withFaults := false
+	for _, p := range curve {
+		if !p.Fault.IsZero() {
+			withFaults = true
+			break
+		}
+	}
+	faultHdr, faultCol := "", "%.0s"
+	if withFaults {
+		faultHdr, faultCol = fmt.Sprintf(" %-14s", "faults"), " %-14s"
+	}
+	fmt.Printf("%-16s %-6s %-18s %4s"+faultHdr+"  %-18s %-16s %-10s %-8s\n",
 		"topology", "rate", "mode", "w", "thr/slot (±std)", "latency (±std)", "hops", "del%")
 	for _, p := range curve {
-		fmt.Printf("%-16s %-6.3g %-18s %4d  %8.3f ±%-8.3f %8.2f ±%-6.2f %-10.2f %-8.1f\n",
-			p.Topology, p.Rate, p.Mode, p.Wavelengths,
+		fmt.Printf("%-16s %-6.3g %-18s %4d"+faultCol+"  %8.3f ±%-8.3f %8.2f ±%-6.2f %-10.2f %-8.1f\n",
+			p.Topology, p.Rate, p.Mode, p.Wavelengths, p.Fault.Label(),
 			p.Throughput.Mean, p.Throughput.Std,
 			p.Latency.Mean, p.Latency.Std,
 			p.Hops.Mean, 100*p.DeliveredFrac.Mean)
@@ -360,6 +422,28 @@ func parseModes(s string) []sweep.Mode {
 		}
 	}
 	return out
+}
+
+// faultSpec assembles and validates the fault-injection spec shared by the
+// single-run and sweep paths. horizon bounds the MTBF/MTTR event stream.
+func faultSpec(kind string, count, slot int, mtbf, mttr float64, horizon int) faults.Spec {
+	var k faults.Kind
+	switch kind {
+	case "node":
+		k = faults.KindNode
+	case "coupler":
+		k = faults.KindCoupler
+	case "tx":
+		k = faults.KindTransmitter
+	default:
+		fmt.Fprintf(os.Stderr, "netsim: bad fault kind %q (want node, coupler or tx)\n", kind)
+		os.Exit(2)
+	}
+	if (mtbf > 0) != (mttr > 0) {
+		fmt.Fprintln(os.Stderr, "netsim: -mtbf and -mttr must be set together")
+		os.Exit(2)
+	}
+	return faults.Spec{Kind: k, Count: count, Slot: slot, MTBF: mtbf, MTTR: mttr, Horizon: horizon}
 }
 
 func seedRange(n int) []int64 {

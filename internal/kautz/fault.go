@@ -23,17 +23,20 @@ import "otisnet/internal/digraph"
 // the source internally.
 func CandidatePaths(d int, from, to Label) [][]Label {
 	var out [][]Label
-	out = append(out, Route(from, to))
+	seen := map[string]bool{}
+	add := func(p []Label) {
+		key := pathKey(p)
+		if !seen[key] {
+			seen[key] = true
+			out = append(out, p)
+		}
+	}
+	add(Route(from, to))
 	k := len(from)
 	for z := byte(0); int(z) <= d; z++ {
-		p := RouteVia(from, to, z)
-		if p == nil || len(p) == 0 {
-			continue
+		if p := RouteVia(from, to, z); len(p) > 0 {
+			add(p)
 		}
-		if samePath(p, out[0]) {
-			continue
-		}
-		out = append(out, p)
 	}
 	// Two-symbol detours: from -> shift z1 -> shift z2 -> route. They give
 	// paths of length at most k+2 hops and add diversity close to the source.
@@ -56,35 +59,24 @@ func CandidatePaths(d int, from, to Label) [][]Label {
 			if pathLen(full) > k+2 {
 				continue
 			}
-			dup := false
-			for _, q := range out {
-				if samePath(q, full) {
-					dup = true
-					break
-				}
-			}
-			if !dup {
-				out = append(out, full)
-			}
+			add(full)
 		}
 	}
 	sortByLength(out)
 	return out
 }
 
-func pathLen(p []Label) int { return len(p) - 1 }
-
-func samePath(a, b []Label) bool {
-	if len(a) != len(b) {
-		return false
+// pathKey serializes a path for duplicate detection: all words have the
+// same length k, so the raw symbol concatenation is unambiguous.
+func pathKey(p []Label) string {
+	var b []byte
+	for _, w := range p {
+		b = append(b, w...)
 	}
-	for i := range a {
-		if !a[i].Equal(b[i]) {
-			return false
-		}
-	}
-	return true
+	return string(b)
 }
+
+func pathLen(p []Label) int { return len(p) - 1 }
 
 func sortByLength(paths [][]Label) {
 	// Insertion sort: the family is tiny (O(d²) paths).

@@ -1,0 +1,103 @@
+package kautz
+
+import "testing"
+
+// Exercise the BFS-fallback branch of RouteAvoiding, which ≤ d-1 faults
+// never trigger: on KG(2,3), the fault set {2, 4} (= d faults) blocks every
+// candidate path from 0 to 1, yet the surviving subgraph still connects
+// them, so RouteAvoiding must fall back to an exact search and report
+// viaFamily == false.
+func TestRouteAvoidingBFSFallback(t *testing.T) {
+	kg := New(2, 3)
+	from, to := kg.LabelOf(0), kg.LabelOf(1)
+	faulty := map[int]bool{2: true, 4: true}
+	fs := func(w Label) bool { return faulty[kg.Index(w)] }
+
+	// Sanity: this fault set really blocks the whole candidate family (the
+	// test would otherwise silently stop covering the fallback).
+	for _, p := range CandidatePaths(2, from, to) {
+		blocked := false
+		for _, w := range p[1 : len(p)-1] {
+			if fs(w) {
+				blocked = true
+				break
+			}
+		}
+		if !blocked {
+			t.Fatalf("candidate %v survives; fault set no longer forces the fallback", p)
+		}
+	}
+
+	path, viaFamily := kg.RouteAvoiding(from, to, fs)
+	if viaFamily {
+		t.Fatal("expected the BFS fallback, got a family path")
+	}
+	if path == nil {
+		t.Fatal("fallback should find a path on the connected surviving subgraph")
+	}
+	if !ValidPath(path, 2) {
+		t.Fatalf("fallback path invalid: %v", path)
+	}
+	if !path[0].Equal(from) || !path[len(path)-1].Equal(to) {
+		t.Fatalf("fallback path has wrong endpoints: %v", path)
+	}
+	for _, w := range path[1 : len(path)-1] {
+		if fs(w) {
+			t.Fatalf("fallback path passes through faulty vertex %v", w)
+		}
+	}
+}
+
+// The fallback returns (nil, false) when the destination is cut off: fail
+// every vertex except the endpoints of a distance-2 pair.
+func TestRouteAvoidingUnreachable(t *testing.T) {
+	kg := New(2, 2)
+	var from, to Label
+	for u := 0; u < kg.N() && from == nil; u++ {
+		for v := 0; v < kg.N(); v++ {
+			if u != v && Distance(kg.LabelOf(u), kg.LabelOf(v)) >= 2 {
+				from, to = kg.LabelOf(u), kg.LabelOf(v)
+				break
+			}
+		}
+	}
+	fs := func(w Label) bool { return !w.Equal(from) && !w.Equal(to) }
+	path, viaFamily := kg.RouteAvoiding(from, to, fs)
+	if path != nil || viaFamily {
+		t.Fatalf("expected (nil, false) for a cut-off destination, got (%v, %v)", path, viaFamily)
+	}
+}
+
+// CandidatePaths must stay duplicate-free (the keyed-set dedup) and sorted
+// by length with the direct route first.
+func TestCandidatePathsDedupAndOrder(t *testing.T) {
+	for _, p := range []struct{ d, k int }{{2, 2}, {2, 3}, {3, 2}, {3, 3}, {4, 2}} {
+		kg := New(p.d, p.k)
+		for u := 0; u < kg.N(); u += 3 {
+			for v := 0; v < kg.N(); v += 5 {
+				if u == v {
+					continue
+				}
+				from, to := kg.LabelOf(u), kg.LabelOf(v)
+				cands := CandidatePaths(p.d, from, to)
+				seen := map[string]bool{}
+				for i, c := range cands {
+					if !ValidPath(c, p.d) {
+						t.Fatalf("KG(%d,%d) %s->%s: invalid candidate %v", p.d, p.k, from, to, c)
+					}
+					key := pathKey(c)
+					if seen[key] {
+						t.Fatalf("KG(%d,%d) %s->%s: duplicate candidate %v", p.d, p.k, from, to, c)
+					}
+					seen[key] = true
+					if i > 0 && len(cands[i-1]) > len(c) {
+						t.Fatalf("KG(%d,%d) %s->%s: candidates not sorted by length", p.d, p.k, from, to)
+					}
+				}
+				if !cands[0][0].Equal(from) || pathLen(cands[0]) != Distance(from, to) {
+					t.Fatalf("KG(%d,%d) %s->%s: first candidate is not the direct route", p.d, p.k, from, to)
+				}
+			}
+		}
+	}
+}

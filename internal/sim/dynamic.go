@@ -1,0 +1,35 @@
+package sim
+
+// TopologyChange summarizes what a DynamicTopology.Advance call did, so the
+// engine can react to failures without knowing how they are modeled.
+type TopologyChange struct {
+	// Changed is false when no event fired; the zero value means "nothing
+	// happened" and costs the engine a single branch per slot.
+	Changed bool
+	// FailedNodes lists the nodes that went down during this advance.
+	// Messages queued there are stranded: the engine purges them and counts
+	// them as LostToFaults. The slice is only valid until the next Advance.
+	FailedNodes []int
+	// EntryChanged reports whether the routing decision for (u, dst)
+	// differs from before the advance. The engine uses it to count queued
+	// messages whose path just changed (Metrics.Reroutes). May be nil when
+	// the implementation does not track per-entry deltas.
+	EntryChanged func(u, dst int) bool
+}
+
+// DynamicTopology is a Topology whose structure can change between slots —
+// the contract between the engine and a fault-injection layer such as
+// faults.FaultedTopology. The engine calls Advance at the top of every
+// Step, before arbitration, so an event at slot s affects slot s's
+// transmissions; between events every Topology method must remain as cheap
+// as on a static topology (NextCoupler stays an O(1) lookup).
+type DynamicTopology interface {
+	Topology
+	// Reset restores the initial (pre-event) state. NewEngine calls it so
+	// every run over the same value starts from slot 0, which is what lets
+	// saturation searches and repeated sweeps reuse one wrapped topology.
+	Reset()
+	// Advance applies every pending event scheduled at or before slot and
+	// reports what changed.
+	Advance(slot int) TopologyChange
+}

@@ -51,6 +51,18 @@ type Metrics struct {
 	TotalHops    int // sum over delivered of hop count
 	PeakQueue    int // max FIFO length observed
 	Backlog      int // messages still queued at the end
+
+	// Fault metrics (all zero on static topologies). Unroutable and
+	// LostToFaults are sub-counts of Dropped, so the conservation invariant
+	// Injected == Delivered + Dropped + Backlog is unchanged.
+	Unroutable   int // dropped because no route to the destination existed
+	LostToFaults int // dropped because their queue's node failed
+	Reroutes     int // queued messages whose routing changed under them
+	// RecoverySlots sums, over fault events that disturbed queued traffic,
+	// the slots from the event until the backlog first returned to its
+	// immediate post-event level — a time-to-recover measure of transient
+	// disruption. Events nobody was routing through do not start the clock.
+	RecoverySlots int
 }
 
 // AvgLatency returns mean delivery latency in slots (0 when nothing was
@@ -78,11 +90,18 @@ func (m Metrics) Throughput() float64 {
 	return float64(m.Delivered) / float64(m.Slots)
 }
 
-// String summarizes the metrics on one line.
+// String summarizes the metrics on one line. Fault counters appear only
+// when a fault actually disturbed the run, so fault-free output is
+// unchanged.
 func (m Metrics) String() string {
-	return fmt.Sprintf("slots=%d injected=%d delivered=%d dropped=%d backlog=%d thr=%.3f/slot lat=%.2f hops=%.2f peakQ=%d defl=%d",
+	s := fmt.Sprintf("slots=%d injected=%d delivered=%d dropped=%d backlog=%d thr=%.3f/slot lat=%.2f hops=%.2f peakQ=%d defl=%d",
 		m.Slots, m.Injected, m.Delivered, m.Dropped, m.Backlog,
 		m.Throughput(), m.AvgLatency(), m.AvgHops(), m.PeakQueue, m.Deflections)
+	if m.Unroutable > 0 || m.LostToFaults > 0 || m.Reroutes > 0 || m.RecoverySlots > 0 {
+		s += fmt.Sprintf(" unroutable=%d lost=%d reroutes=%d recovery=%d",
+			m.Unroutable, m.LostToFaults, m.Reroutes, m.RecoverySlots)
+	}
+	return s
 }
 
 // Engine simulates a Topology slot by slot. Its hot path (Step) is
@@ -104,11 +123,28 @@ type Engine struct {
 	byCoupler [][]int       // coupler -> request indices
 	granted   [][]txRequest // coupler -> granted transmissions
 	winners   []bool        // node -> won arbitration this slot
+
+	// dyn is non-nil when the topology injects fault/repair events; the
+	// engine polls it for changes at the top of every Step.
+	dyn DynamicTopology
+	// Recovery tracking: while recovering, backlog has not yet returned to
+	// recoverBaseline (its level right after the disrupting event).
+	recovering      bool
+	recoverStart    int
+	recoverBaseline int
+
+	// OnDeliver, when non-nil, is invoked for every delivered message with
+	// its final hop count and the delivery slot. It lets experiments record
+	// per-(src,dst) path lengths — e.g. to cross-check the §2.5 fault bound
+	// against kautz.RouteAvoiding — without burdening Metrics.
+	OnDeliver func(msg Message, slot int)
 }
 
-// NewEngine prepares a simulation over the topology.
+// NewEngine prepares a simulation over the topology. A topology that also
+// implements DynamicTopology (e.g. faults.FaultedTopology) is reset to its
+// pre-event state and polled for fault events every Step.
 func NewEngine(topo Topology, cfg Config) *Engine {
-	return &Engine{
+	e := &Engine{
 		topo:      topo,
 		cfg:       cfg,
 		rng:       rand.New(rand.NewSource(cfg.Seed)),
@@ -118,14 +154,23 @@ func NewEngine(topo Topology, cfg Config) *Engine {
 		granted:   make([][]txRequest, topo.Couplers()),
 		winners:   make([]bool, topo.Nodes()),
 	}
+	if dyn, ok := topo.(DynamicTopology); ok {
+		dyn.Reset()
+		e.dyn = dyn
+	}
+	return e
 }
 
 // Metrics returns a snapshot of the accumulated metrics, with Backlog and
-// Slots refreshed. Backlog is tracked incrementally, so this is O(1).
+// Slots refreshed. Backlog is tracked incrementally, so this is O(1). A
+// recovery still in progress contributes its elapsed slots.
 func (e *Engine) Metrics() Metrics {
 	m := e.metrics
 	m.Slots = e.slot
 	m.Backlog = e.backlog
+	if e.recovering {
+		m.RecoverySlots += e.slot - e.recoverStart
+	}
 	return m
 }
 
@@ -157,9 +202,17 @@ func (e *Engine) dequeue(node int) Message {
 	return e.queues[node].pop()
 }
 
-// Step advances the simulation by one slot: arbitration, transmission,
-// delivery or relay.
+// Step advances the simulation by one slot: fault events, arbitration,
+// transmission, delivery or relay.
 func (e *Engine) Step() {
+	// Phase 0: apply fault/repair events scheduled for this slot, purging
+	// queues stranded on failed nodes and counting re-routed messages.
+	if e.dyn != nil {
+		if ch := e.dyn.Advance(e.slot); ch.Changed {
+			e.applyTopologyChange(ch)
+		}
+	}
+
 	// Phase 1: each node with a queued message requests its preferred
 	// coupler for the head-of-line message. Everything below iterates in
 	// coupler or node order so runs are deterministic for a given seed.
@@ -175,10 +228,12 @@ func (e *Engine) Step() {
 		msg := e.queues[u].front()
 		c, hop := e.topo.NextCoupler(u, msg.Dst)
 		if c < 0 {
-			// Unroutable (should not happen on the strongly connected
-			// topologies used here); drop defensively.
+			// Unroutable: on the static, strongly connected topologies this
+			// cannot happen; under faults it means the destination (or the
+			// queue's own node) is cut off. Count-drop.
 			e.dequeue(u)
 			e.metrics.Dropped++
+			e.metrics.Unroutable++
 			continue
 		}
 		e.requests = append(e.requests, txRequest{node: u, coupler: c, nextHop: hop})
@@ -256,6 +311,9 @@ func (e *Engine) Step() {
 				e.metrics.Delivered++
 				e.metrics.TotalLatency += e.slot + 1 - msg.Born
 				e.metrics.TotalHops += msg.Hops
+				if e.OnDeliver != nil {
+					e.OnDeliver(msg, e.slot+1)
+				}
 			} else {
 				e.enqueue(r.nextHop, msg)
 			}
@@ -267,6 +325,54 @@ func (e *Engine) Step() {
 		e.winners[r.node] = false
 	}
 	e.slot++
+	if e.recovering && e.backlog <= e.recoverBaseline {
+		e.metrics.RecoverySlots += e.slot - e.recoverStart
+		e.recovering = false
+	}
+}
+
+// applyTopologyChange reacts to a fault/repair batch: queues at nodes that
+// just failed are purged (LostToFaults), and surviving queued messages
+// whose routing decision changed to another live path are counted as
+// Reroutes — with table routing they silently follow the new path at their
+// next transmission (messages left without any route are not reroutes;
+// they surface as Unroutable when they reach the head of their queue).
+func (e *Engine) applyTopologyChange(ch TopologyChange) {
+	disrupted := false
+	for _, u := range ch.FailedNodes {
+		for e.queues[u].len() > 0 {
+			e.dequeue(u)
+			e.metrics.Dropped++
+			e.metrics.LostToFaults++
+			disrupted = true
+		}
+	}
+	if ch.EntryChanged != nil {
+		for u := 0; u < e.topo.Nodes(); u++ {
+			for i := 0; i < e.queues[u].len(); i++ {
+				dst := e.queues[u].at(i).Dst
+				if !ch.EntryChanged(u, dst) {
+					continue
+				}
+				disrupted = true
+				if c, _ := e.topo.NextCoupler(u, dst); c >= 0 {
+					e.metrics.Reroutes++
+				}
+			}
+		}
+	}
+	// Start (or re-baseline) the time-to-recover clock, but only when the
+	// batch actually disturbed queued traffic: repairs on an idle network
+	// (or events nobody was routing through) are not disruptions. Recovery
+	// completes when the backlog next returns to its post-purge level.
+	if !disrupted {
+		return
+	}
+	if !e.recovering {
+		e.recovering = true
+		e.recoverStart = e.slot
+	}
+	e.recoverBaseline = e.backlog
 }
 
 // txRequest is one node's wish to drive one coupler toward one next hop.
@@ -289,10 +395,14 @@ func sortByRRKey(idxs []int, requests []txRequest, cursor, n int) {
 
 // Run executes a full simulation: `slots` slots of traffic generation plus
 // up to `drain` extra slots to let queues empty, returning the metrics.
+// The injection scratch is reused across slots, so the whole inner loop is
+// allocation-free in steady state (see BenchmarkStepAllocFree).
 func Run(topo Topology, traffic Traffic, slots, drain int, cfg Config) Metrics {
 	e := NewEngine(topo, cfg)
+	var buf []Injection
 	for s := 0; s < slots; s++ {
-		for _, inj := range traffic.Generate(s, topo.Nodes(), e.rng) {
+		buf = traffic.Generate(buf[:0], s, topo.Nodes(), e.rng)
+		for _, inj := range buf {
 			e.Inject(inj.Src, inj.Dst)
 		}
 		e.Step()

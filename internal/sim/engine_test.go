@@ -34,7 +34,7 @@ func TestDeflectionConservationNoLoss(t *testing.T) {
 	e := NewEngine(topo, Config{Seed: 17, Deflection: true})
 	rng := rand.New(rand.NewSource(19))
 	for s := 0; s < 400; s++ {
-		for _, inj := range (UniformTraffic{Rate: 0.9}).Generate(s, topo.Nodes(), rng) {
+		for _, inj := range (UniformTraffic{Rate: 0.9}).Generate(nil, s, topo.Nodes(), rng) {
 			e.Inject(inj.Src, inj.Dst)
 		}
 		e.Step()
@@ -71,7 +71,7 @@ func TestWavelengthsCapacityBoundPerSlot(t *testing.T) {
 	rng := rand.New(rand.NewSource(37))
 	prev := 0
 	for s := 0; s < 300; s++ {
-		for _, inj := range (UniformTraffic{Rate: 1.0}).Generate(s, topo.Nodes(), rng) {
+		for _, inj := range (UniformTraffic{Rate: 1.0}).Generate(nil, s, topo.Nodes(), rng) {
 			e.Inject(inj.Src, inj.Dst)
 		}
 		e.Step()
@@ -330,7 +330,7 @@ func TestBacklogMatchesQueueScan(t *testing.T) {
 	e := NewEngine(topo, Config{Seed: 53, MaxQueue: 3})
 	rng := rand.New(rand.NewSource(59))
 	for s := 0; s < 300; s++ {
-		for _, inj := range (UniformTraffic{Rate: 0.8}).Generate(s, topo.Nodes(), rng) {
+		for _, inj := range (UniformTraffic{Rate: 0.8}).Generate(nil, s, topo.Nodes(), rng) {
 			e.Inject(inj.Src, inj.Dst)
 		}
 		e.Step()

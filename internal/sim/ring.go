@@ -16,6 +16,16 @@ func (r *ring) len() int { return r.n }
 // front returns a pointer to the oldest message. Only valid when len() > 0.
 func (r *ring) front() *Message { return &r.buf[r.head] }
 
+// at returns a pointer to the i-th queued message (0 = oldest). Only valid
+// for 0 <= i < len().
+func (r *ring) at(i int) *Message {
+	j := r.head + i
+	if j >= len(r.buf) {
+		j -= len(r.buf)
+	}
+	return &r.buf[j]
+}
+
 func (r *ring) push(m Message) {
 	if r.n == len(r.buf) {
 		r.grow()

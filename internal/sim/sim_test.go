@@ -148,7 +148,7 @@ func TestConservationInvariant(t *testing.T) {
 	e := NewEngine(topo, Config{Seed: 3, MaxQueue: 4})
 	rng := rand.New(rand.NewSource(5))
 	for s := 0; s < 500; s++ {
-		for _, inj := range (UniformTraffic{Rate: 0.5}).Generate(s, topo.Nodes(), rng) {
+		for _, inj := range (UniformTraffic{Rate: 0.5}).Generate(nil, s, topo.Nodes(), rng) {
 			e.Inject(inj.Src, inj.Dst)
 		}
 		e.Step()
@@ -179,7 +179,7 @@ func TestCouplerExclusivityUnderSaturation(t *testing.T) {
 	rng := rand.New(rand.NewSource(13))
 	prevDelivered := 0
 	for s := 0; s < 200; s++ {
-		for _, inj := range (UniformTraffic{Rate: 1.0}).Generate(s, topo.Nodes(), rng) {
+		for _, inj := range (UniformTraffic{Rate: 1.0}).Generate(nil, s, topo.Nodes(), rng) {
 			e.Inject(inj.Src, inj.Dst)
 		}
 		e.Step()
@@ -220,7 +220,7 @@ func TestBurstDrains(t *testing.T) {
 func TestPermutationTraffic(t *testing.T) {
 	rng := rand.New(rand.NewSource(4))
 	tr := NewPermutationTraffic(1.0, 10, rng)
-	inj := tr.Generate(0, 10, rng)
+	inj := tr.Generate(nil, 0, 10, rng)
 	if len(inj) != 10 {
 		t.Fatalf("permutation injections = %d, want 10", len(inj))
 	}
@@ -239,13 +239,13 @@ func TestPermutationTrafficWrongSizePanics(t *testing.T) {
 			t.Fatal("size mismatch should panic")
 		}
 	}()
-	tr.Generate(0, 10, rng)
+	tr.Generate(nil, 0, 10, rng)
 }
 
 func TestHotspotTraffic(t *testing.T) {
 	rng := rand.New(rand.NewSource(8))
 	tr := HotspotTraffic{Rate: 1.0, Hot: 0, Fraction: 1.0}
-	inj := tr.Generate(0, 10, rng)
+	inj := tr.Generate(nil, 0, 10, rng)
 	hot := 0
 	for _, i := range inj {
 		if i.Src != 0 && i.Dst != 0 {

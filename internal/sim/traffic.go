@@ -12,8 +12,11 @@ type Injection struct {
 
 // Traffic generates the injections of each slot.
 type Traffic interface {
-	// Generate returns the injections for one slot. n is the node count.
-	Generate(slot, n int, rng *rand.Rand) []Injection
+	// Generate appends the injections of one slot to buf and returns the
+	// extended slice. n is the node count. Appending into a caller-owned
+	// scratch slice keeps the simulation loop allocation-free once the
+	// scratch has reached its high-water capacity.
+	Generate(buf []Injection, slot, n int, rng *rand.Rand) []Injection
 }
 
 // UniformTraffic injects, per node per slot, a message with probability
@@ -25,18 +28,17 @@ type UniformTraffic struct {
 }
 
 // Generate implements Traffic.
-func (t UniformTraffic) Generate(_, n int, rng *rand.Rand) []Injection {
-	var inj []Injection
+func (t UniformTraffic) Generate(buf []Injection, _, n int, rng *rand.Rand) []Injection {
 	for u := 0; u < n; u++ {
 		if rng.Float64() < t.Rate {
 			dst := rng.Intn(n - 1)
 			if dst >= u {
 				dst++
 			}
-			inj = append(inj, Injection{Src: u, Dst: dst})
+			buf = append(buf, Injection{Src: u, Dst: dst})
 		}
 	}
-	return inj
+	return buf
 }
 
 // PermutationTraffic injects, with probability Rate per node per slot, a
@@ -61,17 +63,16 @@ func NewPermutationTraffic(rate float64, n int, rng *rand.Rand) PermutationTraff
 }
 
 // Generate implements Traffic.
-func (t PermutationTraffic) Generate(_, n int, rng *rand.Rand) []Injection {
+func (t PermutationTraffic) Generate(buf []Injection, _, n int, rng *rand.Rand) []Injection {
 	if len(t.Perm) != n {
 		panic(fmt.Sprintf("sim: permutation over %d nodes used on %d-node network", len(t.Perm), n))
 	}
-	var inj []Injection
 	for u := 0; u < n; u++ {
 		if t.Perm[u] != u && rng.Float64() < t.Rate {
-			inj = append(inj, Injection{Src: u, Dst: t.Perm[u]})
+			buf = append(buf, Injection{Src: u, Dst: t.Perm[u]})
 		}
 	}
-	return inj
+	return buf
 }
 
 // HotspotTraffic is uniform traffic where a fraction of messages is
@@ -83,8 +84,7 @@ type HotspotTraffic struct {
 }
 
 // Generate implements Traffic.
-func (t HotspotTraffic) Generate(_, n int, rng *rand.Rand) []Injection {
-	var inj []Injection
+func (t HotspotTraffic) Generate(buf []Injection, _, n int, rng *rand.Rand) []Injection {
 	for u := 0; u < n; u++ {
 		if rng.Float64() >= t.Rate {
 			continue
@@ -96,9 +96,9 @@ func (t HotspotTraffic) Generate(_, n int, rng *rand.Rand) []Injection {
 				dst++
 			}
 		}
-		inj = append(inj, Injection{Src: u, Dst: dst})
+		buf = append(buf, Injection{Src: u, Dst: dst})
 	}
-	return inj
+	return buf
 }
 
 // BurstTraffic injects a fixed batch of random messages at slot 0 and
@@ -108,18 +108,17 @@ type BurstTraffic struct {
 }
 
 // Generate implements Traffic.
-func (t BurstTraffic) Generate(slot, n int, rng *rand.Rand) []Injection {
+func (t BurstTraffic) Generate(buf []Injection, slot, n int, rng *rand.Rand) []Injection {
 	if slot != 0 || n < 2 {
-		return nil
+		return buf
 	}
-	inj := make([]Injection, t.Messages)
-	for i := range inj {
+	for i := 0; i < t.Messages; i++ {
 		src := rng.Intn(n)
 		dst := rng.Intn(n - 1)
 		if dst >= src {
 			dst++
 		}
-		inj[i] = Injection{Src: src, Dst: dst}
+		buf = append(buf, Injection{Src: src, Dst: dst})
 	}
-	return inj
+	return buf
 }

@@ -1,6 +1,10 @@
 package sweep
 
-import "math"
+import (
+	"math"
+
+	"otisnet/internal/faults"
+)
 
 // Stat is a sample mean with its standard deviation (sample stddev, n-1;
 // zero when fewer than two samples).
@@ -37,6 +41,10 @@ type PointKey struct {
 	Rate        float64
 	Mode        Mode
 	Wavelengths int
+	// Fault is the full fault spec (zero for fault-free points): keying by
+	// the spec, not its label, keeps distinct specs that happen to share a
+	// label (e.g. same shape, different pinned Seed) as separate points.
+	Fault faults.Spec
 }
 
 // CurvePoint is one aggregated point of a saturation/throughput curve:
@@ -51,6 +59,10 @@ type CurvePoint struct {
 	DeliveredFrac Stat // delivered / injected
 	PeakQueue     Stat
 	Deflections   Stat
+	// Fault-axis statistics (all zero for fault-free points).
+	Unroutable    Stat
+	LostToFaults  Stat
+	RecoverySlots Stat
 }
 
 // Aggregate groups results by PointKey (preserving first-appearance order)
@@ -72,6 +84,7 @@ func Aggregate(results []Result) []CurvePoint {
 			Rate:        s.Rate,
 			Mode:        s.Mode,
 			Wavelengths: s.Wavelengths,
+			Fault:       s.Fault,
 		}
 		g, ok := groups[key]
 		if !ok {
@@ -108,8 +121,11 @@ func Aggregate(results []Result) []CurvePoint {
 				}
 				return float64(r.Metrics.Delivered) / float64(r.Metrics.Injected)
 			}),
-			PeakQueue:   collect(func(r Result) float64 { return float64(r.Metrics.PeakQueue) }),
-			Deflections: collect(func(r Result) float64 { return float64(r.Metrics.Deflections) }),
+			PeakQueue:     collect(func(r Result) float64 { return float64(r.Metrics.PeakQueue) }),
+			Deflections:   collect(func(r Result) float64 { return float64(r.Metrics.Deflections) }),
+			Unroutable:    collect(func(r Result) float64 { return float64(r.Metrics.Unroutable) }),
+			LostToFaults:  collect(func(r Result) float64 { return float64(r.Metrics.LostToFaults) }),
+			RecoverySlots: collect(func(r Result) float64 { return float64(r.Metrics.RecoverySlots) }),
 		}
 	}
 	return pts

@@ -11,10 +11,11 @@ import (
 func WriteResultsCSV(w io.Writer, results []Result) error {
 	cw := csv.NewWriter(w)
 	header := []string{
-		"topology", "traffic", "rate", "mode", "wavelengths", "seed",
+		"topology", "traffic", "rate", "mode", "wavelengths", "fault", "seed",
 		"slots", "injected", "delivered", "dropped", "backlog",
 		"throughput", "per_node_throughput", "avg_latency", "avg_hops",
 		"peak_queue", "deflections",
+		"unroutable", "lost_to_faults", "reroutes", "recovery_slots",
 	}
 	if err := cw.Write(header); err != nil {
 		return err
@@ -27,6 +28,7 @@ func WriteResultsCSV(w io.Writer, results []Result) error {
 			fmt.Sprintf("%g", s.Rate),
 			s.Mode.String(),
 			fmt.Sprintf("%d", s.Wavelengths),
+			s.Fault.Label(),
 			fmt.Sprintf("%d", s.Seed),
 			fmt.Sprintf("%d", m.Slots),
 			fmt.Sprintf("%d", m.Injected),
@@ -39,6 +41,10 @@ func WriteResultsCSV(w io.Writer, results []Result) error {
 			fmt.Sprintf("%g", m.AvgHops()),
 			fmt.Sprintf("%d", m.PeakQueue),
 			fmt.Sprintf("%d", m.Deflections),
+			fmt.Sprintf("%d", m.Unroutable),
+			fmt.Sprintf("%d", m.LostToFaults),
+			fmt.Sprintf("%d", m.Reroutes),
+			fmt.Sprintf("%d", m.RecoverySlots),
 		}
 		if err := cw.Write(row); err != nil {
 			return err
@@ -52,12 +58,13 @@ func WriteResultsCSV(w io.Writer, results []Result) error {
 func WriteCurveCSV(w io.Writer, points []CurvePoint) error {
 	cw := csv.NewWriter(w)
 	header := []string{
-		"topology", "traffic", "rate", "mode", "wavelengths", "seeds",
+		"topology", "traffic", "rate", "mode", "wavelengths", "fault", "seeds",
 		"throughput_mean", "throughput_std",
 		"per_node_throughput_mean", "per_node_throughput_std",
 		"latency_mean", "latency_std",
 		"hops_mean", "hops_std",
 		"delivered_frac_mean", "delivered_frac_std",
+		"unroutable_mean", "lost_to_faults_mean", "recovery_slots_mean",
 	}
 	if err := cw.Write(header); err != nil {
 		return err
@@ -69,6 +76,7 @@ func WriteCurveCSV(w io.Writer, points []CurvePoint) error {
 			fmt.Sprintf("%g", p.Rate),
 			p.Mode.String(),
 			fmt.Sprintf("%d", p.Wavelengths),
+			p.Fault.Label(),
 			fmt.Sprintf("%d", p.Seeds),
 			fmt.Sprintf("%g", p.Throughput.Mean),
 			fmt.Sprintf("%g", p.Throughput.Std),
@@ -80,6 +88,9 @@ func WriteCurveCSV(w io.Writer, points []CurvePoint) error {
 			fmt.Sprintf("%g", p.Hops.Std),
 			fmt.Sprintf("%g", p.DeliveredFrac.Mean),
 			fmt.Sprintf("%g", p.DeliveredFrac.Std),
+			fmt.Sprintf("%g", p.Unroutable.Mean),
+			fmt.Sprintf("%g", p.LostToFaults.Mean),
+			fmt.Sprintf("%g", p.RecoverySlots.Mean),
 		}
 		if err := cw.Write(row); err != nil {
 			return err
@@ -97,6 +108,7 @@ type resultJSON struct {
 	Rate        float64 `json:"rate"`
 	Mode        string  `json:"mode"`
 	Wavelengths int     `json:"wavelengths"`
+	Fault       string  `json:"fault"`
 	Seed        int64   `json:"seed"`
 	Slots       int     `json:"slots"`
 	Injected    int     `json:"injected"`
@@ -108,6 +120,11 @@ type resultJSON struct {
 	AvgHops     float64 `json:"avg_hops"`
 	PeakQueue   int     `json:"peak_queue"`
 	Deflections int     `json:"deflections"`
+
+	Unroutable    int `json:"unroutable"`
+	LostToFaults  int `json:"lost_to_faults"`
+	Reroutes      int `json:"reroutes"`
+	RecoverySlots int `json:"recovery_slots"`
 }
 
 // WriteResultsJSON emits the raw results as a JSON array.
@@ -116,22 +133,27 @@ func WriteResultsJSON(w io.Writer, results []Result) error {
 	for i, r := range results {
 		s, m := r.Scenario, r.Metrics
 		out[i] = resultJSON{
-			Topology:    s.Topology.Name,
-			Traffic:     s.TrafficName,
-			Rate:        s.Rate,
-			Mode:        s.Mode.String(),
-			Wavelengths: s.Wavelengths,
-			Seed:        s.Seed,
-			Slots:       m.Slots,
-			Injected:    m.Injected,
-			Delivered:   m.Delivered,
-			Dropped:     m.Dropped,
-			Backlog:     m.Backlog,
-			Throughput:  m.Throughput(),
-			AvgLatency:  m.AvgLatency(),
-			AvgHops:     m.AvgHops(),
-			PeakQueue:   m.PeakQueue,
-			Deflections: m.Deflections,
+			Topology:      s.Topology.Name,
+			Traffic:       s.TrafficName,
+			Rate:          s.Rate,
+			Mode:          s.Mode.String(),
+			Wavelengths:   s.Wavelengths,
+			Fault:         s.Fault.Label(),
+			Seed:          s.Seed,
+			Slots:         m.Slots,
+			Injected:      m.Injected,
+			Delivered:     m.Delivered,
+			Dropped:       m.Dropped,
+			Backlog:       m.Backlog,
+			Throughput:    m.Throughput(),
+			AvgLatency:    m.AvgLatency(),
+			AvgHops:       m.AvgHops(),
+			PeakQueue:     m.PeakQueue,
+			Deflections:   m.Deflections,
+			Unroutable:    m.Unroutable,
+			LostToFaults:  m.LostToFaults,
+			Reroutes:      m.Reroutes,
+			RecoverySlots: m.RecoverySlots,
 		}
 	}
 	enc := json.NewEncoder(w)
@@ -151,12 +173,16 @@ func WriteCurveJSON(w io.Writer, points []CurvePoint) error {
 		Rate          float64  `json:"rate"`
 		Mode          string   `json:"mode"`
 		Wavelengths   int      `json:"wavelengths"`
+		Fault         string   `json:"fault"`
 		Seeds         int      `json:"seeds"`
 		Throughput    statJSON `json:"throughput"`
 		PerNodeThr    statJSON `json:"per_node_throughput"`
 		Latency       statJSON `json:"latency"`
 		Hops          statJSON `json:"hops"`
 		DeliveredFrac statJSON `json:"delivered_frac"`
+		Unroutable    statJSON `json:"unroutable"`
+		LostToFaults  statJSON `json:"lost_to_faults"`
+		RecoverySlots statJSON `json:"recovery_slots"`
 	}
 	out := make([]pointJSON, len(points))
 	for i, p := range points {
@@ -166,12 +192,16 @@ func WriteCurveJSON(w io.Writer, points []CurvePoint) error {
 			Rate:          p.Rate,
 			Mode:          p.Mode.String(),
 			Wavelengths:   p.Wavelengths,
+			Fault:         p.Fault.Label(),
 			Seeds:         p.Seeds,
 			Throughput:    statJSON(p.Throughput),
 			PerNodeThr:    statJSON(p.PerNodeThr),
 			Latency:       statJSON(p.Latency),
 			Hops:          statJSON(p.Hops),
 			DeliveredFrac: statJSON(p.DeliveredFrac),
+			Unroutable:    statJSON(p.Unroutable),
+			LostToFaults:  statJSON(p.LostToFaults),
+			RecoverySlots: statJSON(p.RecoverySlots),
 		}
 	}
 	enc := json.NewEncoder(w)

@@ -19,6 +19,7 @@ import (
 	"runtime"
 	"sync"
 
+	"otisnet/internal/faults"
 	"otisnet/internal/sim"
 )
 
@@ -63,6 +64,16 @@ type Scenario struct {
 	MaxQueue    int
 	Slots       int
 	Drain       int
+	// Fault describes the fault-injection axis; the zero value runs on the
+	// bare topology (bit-for-bit identical to pre-fault sweeps).
+	Fault faults.Spec
+}
+
+// topo returns the scenario's topology, wrapped in a private fault layer
+// when the fault axis is active. Wrapping per scenario keeps the shared
+// base read-only across workers; the FaultedTopology itself is mutable.
+func (s Scenario) topo() sim.Topology {
+	return s.Fault.Wrap(s.Topology.Topo, s.Seed)
 }
 
 // Config translates the scenario into the engine configuration.
@@ -97,10 +108,14 @@ type Grid struct {
 	// Traffic builds the traffic model per rate; nil means uniform.
 	Traffic     TrafficFactory
 	TrafficName string
+	// Faults is the fault-injection axis: each spec is crossed with every
+	// other axis (e.g. node-fault counts 0..d for a degradation curve).
+	// Empty means the single fault-free spec.
+	Faults []faults.Spec
 }
 
 // Points expands the grid into scenarios in deterministic order:
-// topology-major, then rate, mode, wavelengths, seed.
+// topology-major, then rate, mode, wavelengths, fault, seed.
 func (g Grid) Points() []Scenario {
 	rates := g.Rates
 	if len(rates) == 0 {
@@ -126,30 +141,40 @@ func (g Grid) Points() []Scenario {
 	if name == "" {
 		name = "uniform"
 	}
+	fspecs := g.Faults
+	if len(fspecs) == 0 {
+		fspecs = []faults.Spec{{}}
+	}
 	var pts []Scenario
 	for _, topo := range g.Topologies {
 		for _, rate := range rates {
 			for _, mode := range modes {
 				for _, w := range waves {
-					for _, seed := range seeds {
-						// One factory call per scenario: Traffic values
-						// are never shared across engines/goroutines.
-						var tr sim.Traffic
-						if g.Traffic != nil {
-							tr = g.Traffic(rate)
+					for _, fs := range fspecs {
+						if fs.MTBF > 0 && fs.Horizon == 0 {
+							fs.Horizon = slots
 						}
-						pts = append(pts, Scenario{
-							Topology:    topo,
-							TrafficName: name,
-							Traffic:     tr,
-							Rate:        rate,
-							Seed:        seed,
-							Mode:        mode,
-							Wavelengths: w,
-							MaxQueue:    g.MaxQueue,
-							Slots:       slots,
-							Drain:       g.Drain,
-						})
+						for _, seed := range seeds {
+							// One factory call per scenario: Traffic values
+							// are never shared across engines/goroutines.
+							var tr sim.Traffic
+							if g.Traffic != nil {
+								tr = g.Traffic(rate)
+							}
+							pts = append(pts, Scenario{
+								Topology:    topo,
+								TrafficName: name,
+								Traffic:     tr,
+								Rate:        rate,
+								Seed:        seed,
+								Mode:        mode,
+								Wavelengths: w,
+								MaxQueue:    g.MaxQueue,
+								Slots:       slots,
+								Drain:       g.Drain,
+								Fault:       fs,
+							})
+						}
 					}
 				}
 			}
@@ -186,7 +211,7 @@ func (r Runner) Run(points []Scenario) []Result {
 		p := points[i]
 		results[i] = Result{
 			Scenario: p,
-			Metrics:  sim.Run(p.Topology.Topo, p.traffic(), p.Slots, p.Drain, p.Config()),
+			Metrics:  sim.Run(p.topo(), p.traffic(), p.Slots, p.Drain, p.Config()),
 		}
 	})
 	return results
@@ -271,6 +296,10 @@ func (r Runner) fan(n int, fn func(i int)) {
 
 // Label is a compact human-readable scenario identifier.
 func (s Scenario) Label() string {
-	return fmt.Sprintf("%s/%s r=%.3g w=%d seed=%d %s",
+	l := fmt.Sprintf("%s/%s r=%.3g w=%d seed=%d %s",
 		s.Topology.Name, s.TrafficName, s.Rate, s.Wavelengths, s.Seed, s.Mode)
+	if !s.Fault.IsZero() {
+		l += " faults=" + s.Fault.Label()
+	}
+	return l
 }

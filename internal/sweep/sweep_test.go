@@ -7,6 +7,7 @@ import (
 	"strings"
 	"testing"
 
+	"otisnet/internal/faults"
 	"otisnet/internal/pops"
 	"otisnet/internal/sim"
 	"otisnet/internal/stackkautz"
@@ -205,5 +206,127 @@ func TestWriteCurveJSONRoundTrips(t *testing.T) {
 func TestModeString(t *testing.T) {
 	if StoreAndForward.String() != "store-and-forward" || Deflection.String() != "hot-potato" {
 		t.Fatal("mode names changed; CSV/JSON consumers depend on them")
+	}
+}
+
+// --- fault axis ---
+
+func TestFaultAxisZeroSpecMatchesFaultFreeSweep(t *testing.T) {
+	grid := Grid{
+		Topologies: []Topology{skTopo()},
+		Rates:      []float64{0.3},
+		Seeds:      []int64{1, 2},
+		Slots:      200,
+		Drain:      200,
+	}
+	plain := Runner{}.RunGrid(grid)
+	grid.Faults = []faults.Spec{{}}
+	withAxis := Runner{}.RunGrid(grid)
+	if len(plain) != len(withAxis) {
+		t.Fatalf("point counts differ: %d vs %d", len(plain), len(withAxis))
+	}
+	for i := range plain {
+		if plain[i].Metrics != withAxis[i].Metrics {
+			t.Fatalf("zero fault spec changed results at point %d", i)
+		}
+	}
+}
+
+// The acceptance property of the degradation sweep: throughput is monotone
+// non-increasing in the number of injected node faults (same seeds, nested
+// fault sets).
+func TestFaultSweepDegradationMonotone(t *testing.T) {
+	topo := Topology{Name: "SK(6,3,2)", Topo: sim.NewStackTopology(stackkautz.New(6, 3, 2).StackGraph())}
+	specs := make([]faults.Spec, 0, 4)
+	for f := 0; f <= 3; f++ {
+		specs = append(specs, faults.Spec{Kind: faults.KindNode, Count: f, Slot: 0, Seed: 99})
+	}
+	grid := Grid{
+		Topologies: []Topology{topo},
+		Rates:      []float64{0.5},
+		Seeds:      []int64{1, 2, 3},
+		Slots:      300,
+		Drain:      300,
+		Faults:     specs,
+	}
+	curve := Aggregate(Runner{}.RunGrid(grid))
+	if len(curve) != len(specs) {
+		t.Fatalf("expected %d curve points, got %d", len(specs), len(curve))
+	}
+	for i := 1; i < len(curve); i++ {
+		if curve[i].Throughput.Mean > curve[i-1].Throughput.Mean {
+			t.Fatalf("degradation curve not monotone: %d faults -> %.4f, %d faults -> %.4f",
+				i-1, curve[i-1].Throughput.Mean, i, curve[i].Throughput.Mean)
+		}
+	}
+	if curve[0].LostToFaults.Mean != 0 {
+		t.Fatalf("fault-free point lost messages to faults: %+v", curve[0])
+	}
+	if last := curve[len(curve)-1]; last.Unroutable.Mean+last.LostToFaults.Mean == 0 {
+		t.Fatalf("faulted points should lose or fail to route some messages: %+v", last)
+	}
+}
+
+func TestFaultColumnInOutputs(t *testing.T) {
+	grid := Grid{
+		Topologies: []Topology{popsTopo()},
+		Rates:      []float64{0.2},
+		Seeds:      []int64{1},
+		Slots:      100,
+		Faults:     []faults.Spec{{}, {Kind: faults.KindNode, Count: 1, Slot: 10}},
+	}
+	results := Runner{}.RunGrid(grid)
+	var buf bytes.Buffer
+	if err := WriteResultsCSV(&buf, results); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, ",fault,") || !strings.Contains(out, "node×1@10") {
+		t.Fatalf("raw CSV missing fault column:\n%s", out)
+	}
+	buf.Reset()
+	if err := WriteCurveCSV(&buf, Aggregate(results)); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "node×1@10") {
+		t.Fatalf("curve CSV missing fault label:\n%s", buf.String())
+	}
+	buf.Reset()
+	if err := WriteCurveJSON(&buf, Aggregate(results)); err != nil {
+		t.Fatal(err)
+	}
+	var decoded []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if decoded[0]["fault"] != "none" || decoded[1]["fault"] != "node×1@10" {
+		t.Fatalf("curve JSON fault labels wrong: %v, %v", decoded[0]["fault"], decoded[1]["fault"])
+	}
+}
+
+// Distinct fault specs that share a display label (same shape, different
+// pinned seed) must stay separate curve points: aggregation keys on the
+// full spec, not its label.
+func TestAggregateKeepsSameLabelFaultSpecsApart(t *testing.T) {
+	grid := Grid{
+		Topologies: []Topology{skTopo()},
+		Rates:      []float64{0.3},
+		Seeds:      []int64{1, 2},
+		Slots:      100,
+		Faults: []faults.Spec{
+			{Kind: faults.KindNode, Count: 2, Slot: 10, Seed: 7},
+			{Kind: faults.KindNode, Count: 2, Slot: 10, Seed: 8},
+		},
+	}
+	curve := Aggregate(Runner{}.RunGrid(grid))
+	if len(curve) != 2 {
+		t.Fatalf("expected 2 curve points for 2 distinct specs, got %d", len(curve))
+	}
+	if curve[0].Fault.Label() != curve[1].Fault.Label() {
+		t.Fatalf("test premise broken: labels differ (%q vs %q)",
+			curve[0].Fault.Label(), curve[1].Fault.Label())
+	}
+	if curve[0].Seeds != 2 || curve[1].Seeds != 2 {
+		t.Fatalf("each spec should aggregate its 2 traffic seeds: %+v", curve)
 	}
 }
