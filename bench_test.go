@@ -27,6 +27,7 @@ import (
 	"otisnet/internal/sim"
 	"otisnet/internal/stackkautz"
 	"otisnet/internal/sweep"
+	"otisnet/internal/workload"
 )
 
 // BenchmarkFig01OTISPermutation builds the OTIS(3,6) transpose of Figure 1
@@ -438,6 +439,56 @@ func BenchmarkT9Collectives(b *testing.B) {
 		s := collective.SKBroadcast(n, src)
 		if !s.Execute(n.StackGraph()).BroadcastComplete(n.NodeID(src)) {
 			b.Fatal("broadcast incomplete")
+		}
+	}
+}
+
+// BenchmarkT9DynamicCollective is the live version of
+// BenchmarkT9Collectives (experiment T9D): the SK(6,3,2) broadcast schedule
+// is expanded into unicast messages and replayed through the engine, where
+// every round must deliver its full intent under real coupler arbitration
+// and the dissemination must complete in at least the lower-bound number of
+// rounds.
+func BenchmarkT9DynamicCollective(b *testing.B) {
+	nw := stackkautz.New(6, 3, 2)
+	src := stackkautz.Address{Group: nw.Kautz().LabelOf(0), Member: 0}
+	sched := collective.SKBroadcast(nw, src)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := workload.ReplayBroadcast(nw.StackGraph(), sched, nw.NodeID(src), sim.Config{Seed: int64(i)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Complete || len(res.Rounds) < res.LowerBound {
+			b.Fatal("live broadcast replay incomplete or below the lower bound")
+		}
+	}
+}
+
+// BenchmarkWorkloadSweep fans the workload axis (uniform, transpose,
+// hotspot, bursty x 2 seeds on SK(6,3,2)) across the sweep worker pool and
+// aggregates one curve point per workload kind.
+func BenchmarkWorkloadSweep(b *testing.B) {
+	grid := sweep.Grid{
+		Topologies: []sweep.Topology{
+			{Name: "SK(6,3,2)", Topo: sim.NewStackTopology(stackkautz.New(6, 3, 2).StackGraph()), GroupSize: 6},
+		},
+		Rates: []float64{0.2},
+		Seeds: []int64{1, 2},
+		Slots: 200,
+		Drain: 200,
+		Workloads: []workload.Spec{
+			{},
+			{Kind: workload.KindTranspose},
+			{Kind: workload.KindHotspot, HotGroup: 2, Fraction: 0.4},
+			{Kind: workload.KindBursty, MeanOn: 20, MeanOff: 60, OffFactor: 0.1},
+		},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		curve := sweep.Aggregate(sweep.Runner{}.RunGrid(grid))
+		if len(curve) != 4 {
+			b.Fatalf("expected 4 curve points, got %d", len(curve))
 		}
 	}
 }

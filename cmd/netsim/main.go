@@ -1,7 +1,8 @@
 // Command netsim runs slotted-time traffic simulations over the paper's
 // networks: stack-Kautz (multi-hop multi-OPS), POPS (single-hop multi-OPS)
-// and the de Bruijn point-to-point baseline, under uniform, permutation or
-// hotspot traffic, with store-and-forward or hot-potato deflection routing.
+// and the de Bruijn point-to-point baseline, under pluggable workloads
+// (uniform, OTIS transpose, group hotspot, bursty on/off, collective
+// replay), with store-and-forward or hot-potato deflection routing.
 //
 // One scenario at a time:
 //
@@ -23,6 +24,17 @@
 //	go run ./cmd/netsim -net sk -faults 2 -faultslot 500
 //	go run ./cmd/netsim -net sk -faults 3 -faultkind tx -mtbf 200 -mttr 50
 //	go run ./cmd/netsim -net sk -sweep -faultset 0,1,2,3 -seeds 5 -format csv
+//
+// Structured workloads (internal/workload): the OTIS transpose permutation,
+// group-hotspot skew, bursty on/off load, and collective-schedule replay
+// through the live engine (dynamic T9):
+//
+//	go run ./cmd/netsim -net sk -workload transpose -rate 0.3
+//	go run ./cmd/netsim -net sk -workload hotspot -hotgroup 2 -hotfrac 0.5
+//	go run ./cmd/netsim -net sk -workload bursty -burston 50 -burstoff 150
+//	go run ./cmd/netsim -net sk -workload collective
+//	go run ./cmd/netsim -net pops -t 4 -g 4 -workload collective -collective gossip
+//	go run ./cmd/netsim -net all -sweep -workload uniform,transpose,hotspot,bursty
 package main
 
 import (
@@ -35,12 +47,14 @@ import (
 	"strconv"
 	"strings"
 
+	"otisnet/internal/collective"
 	"otisnet/internal/faults"
 	"otisnet/internal/kautz"
 	"otisnet/internal/pops"
 	"otisnet/internal/sim"
 	"otisnet/internal/stackkautz"
 	"otisnet/internal/sweep"
+	"otisnet/internal/workload"
 )
 
 func main() {
@@ -63,6 +77,14 @@ func main() {
 		waves    = flag.Int("wavelengths", 1, "wavelengths per coupler (WDM extension)")
 		saturate = flag.Bool("saturate", false, "binary-search the saturation rate instead of one run")
 
+		workloadF   = flag.String("workload", "uniform", `workload: "uniform", "transpose", "hotspot", "bursty" or "collective"; sweep: comma list (no collective)`)
+		hotGroup    = flag.Int("hotgroup", 0, "hotspot workload: target group index")
+		hotFrac     = flag.Float64("hotfrac", 0.3, "hotspot workload: fraction of load skewed to the hot group")
+		burstOn     = flag.Float64("burston", 50, "bursty workload: mean burst duration (slots)")
+		burstOff    = flag.Float64("burstoff", 150, "bursty workload: mean gap duration (slots)")
+		burstLow    = flag.Float64("burstlow", 0, "bursty workload: off-state rate factor in [0,1]")
+		collectiveF = flag.String("collective", "broadcast", `collective workload: "broadcast" or "gossip" (gossip: POPS only)`)
+
 		faultN    = flag.Int("faults", 0, "fault injection: number of elements to fail (0 = none)")
 		faultKind = flag.String("faultkind", "node", `fault injection: element kind, "node", "coupler" or "tx"`)
 		faultSlot = flag.Int("faultslot", 0, "fault injection: slot at which the failures strike")
@@ -81,12 +103,21 @@ func main() {
 	)
 	flag.Parse()
 
+	explicit := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+	if explicit["traffic"] && explicit["workload"] {
+		fmt.Fprintln(os.Stderr, "netsim: -traffic (legacy) conflicts with -workload; use one")
+		os.Exit(2)
+	}
+
 	if *doSweep {
 		// Map explicitly set single-run flags into the grid so adding
 		// -sweep to an existing command line never silently drops them;
 		// setting both a legacy flag and its sweep counterpart is an error.
-		explicit := map[string]bool{}
-		flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+		if strings.Contains(*workloadF, "collective") {
+			fmt.Fprintln(os.Stderr, "netsim: the collective workload replays a schedule and is not sweepable; drop -sweep")
+			os.Exit(2)
+		}
 		conflicts := [][2]string{{"rate", "rates"}, {"deflect", "modes"}, {"wavelengths", "waveset"}, {"seed", "seeds"}, {"faults", "faultset"}}
 		for _, c := range conflicts {
 			if explicit[c[0]] && explicit[c[1]] {
@@ -111,6 +142,12 @@ func main() {
 					os.Exit(2)
 				}
 			}
+			// Saturation search binary-searches uniform offered load; a
+			// workload axis does not apply either.
+			if explicit["workload"] {
+				fmt.Fprintln(os.Stderr, "netsim: -workload is not supported with -sweep -saturate (the search runs uniform load)")
+				os.Exit(2)
+			}
 		}
 		if *raw && explicit["format"] && *format == "table" {
 			fmt.Fprintln(os.Stderr, "netsim: -raw emits machine-readable output; use -format csv or json")
@@ -118,7 +155,10 @@ func main() {
 		}
 		o := sweepOpts{
 			net: *net, t: *t, g: *g, s: *s, d: *d, k: *k, n: *n,
-			traffic: *traffic, rates: *rateList, seeds: *seeds, modes: *modes,
+			traffic: *traffic, trafficSet: explicit["traffic"],
+			workloads: *workloadF, hotGroup: *hotGroup, hotFrac: *hotFrac,
+			burstOn: *burstOn, burstOff: *burstOff, burstLow: *burstLow,
+			rates: *rateList, seeds: *seeds, modes: *modes,
 			waves: *waveList, slots: *slots, drain: *drain, maxQ: *maxQ,
 			seed: *seed, workers: *workers, format: *format, raw: *raw,
 			saturate: *saturate,
@@ -144,7 +184,29 @@ func main() {
 		return
 	}
 
-	topo, desc := buildTopology(*net, *t, *g, *s, *d, *k, *n)
+	if *saturate && explicit["workload"] {
+		// SaturationSearch binary-searches uniform offered load; reject the
+		// combination instead of reporting a misattributed rate (the sweep
+		// path rejects it the same way).
+		fmt.Fprintln(os.Stderr, "netsim: -workload is not supported with -saturate (the search runs uniform load)")
+		os.Exit(2)
+	}
+	if *workloadF == "collective" {
+		// The replay runs the canonical single-wavelength store-and-forward
+		// engine on the fault-free topology; reject flags it would silently
+		// ignore rather than report a scenario that never ran.
+		for _, f := range []string{"rate", "slots", "drain", "deflect", "wavelengths", "maxq", "saturate",
+			"faults", "faultkind", "faultslot", "mtbf", "mttr"} {
+			if explicit[f] {
+				fmt.Fprintf(os.Stderr, "netsim: -%s does not apply to the collective replay workload\n", f)
+				os.Exit(2)
+			}
+		}
+		runCollective(*net, *t, *g, *s, *d, *k, *collectiveF, *seed)
+		return
+	}
+
+	topo, desc, groupSize := buildTopology(*net, *t, *g, *s, *d, *k, *n)
 	if err := sim.CheckTopology(topo); err != nil {
 		fmt.Fprintf(os.Stderr, "netsim: %v\n", err)
 		os.Exit(1)
@@ -156,18 +218,27 @@ func main() {
 	}
 
 	var tr sim.Traffic
-	switch *traffic {
-	case "uniform":
-		tr = sim.UniformTraffic{Rate: *rate}
-	case "perm":
-		tr = sim.NewPermutationTraffic(*rate, topo.Nodes(), rand.New(rand.NewSource(*seed)))
-	case "hotspot":
-		tr = sim.HotspotTraffic{Rate: *rate, Hot: 0, Fraction: 0.3}
-	case "burst":
-		tr = sim.BurstTraffic{Messages: *burst}
-	default:
-		fmt.Fprintf(os.Stderr, "netsim: unknown traffic %q\n", *traffic)
-		os.Exit(2)
+	trafficName := *traffic
+	if explicit["traffic"] {
+		// Legacy single-run traffic models, kept for script compatibility;
+		// -workload is the richer replacement.
+		switch *traffic {
+		case "uniform":
+			tr = sim.UniformTraffic{Rate: *rate}
+		case "perm":
+			tr = sim.NewPermutationTraffic(*rate, topo.Nodes(), rand.New(rand.NewSource(*seed)))
+		case "hotspot":
+			tr = sim.HotspotTraffic{Rate: *rate, Hot: 0, Fraction: 0.3}
+		case "burst":
+			tr = sim.BurstTraffic{Messages: *burst}
+		default:
+			fmt.Fprintf(os.Stderr, "netsim: unknown traffic %q\n", *traffic)
+			os.Exit(2)
+		}
+	} else {
+		wspec := workloadSpec(*workloadF, *hotGroup, *hotFrac, *burstOn, *burstOff, *burstLow, topo.Nodes(), groupSize)
+		tr = wspec.New(*rate, topo.Nodes(), groupSize)
+		trafficName = wspec.Label()
 	}
 
 	cfg := sim.Config{Seed: *seed, MaxQueue: *maxQ, Deflection: *deflect, Wavelengths: *waves}
@@ -182,29 +253,111 @@ func main() {
 	if *deflect {
 		mode = "hot-potato"
 	}
-	fmt.Printf("%s  traffic=%s rate=%.2f mode=%s\n", desc, *traffic, *rate, mode)
+	fmt.Printf("%s  traffic=%s rate=%.2f mode=%s\n", desc, trafficName, *rate, mode)
 	fmt.Println(m)
 	fmt.Printf("per-node throughput: %.4f msgs/slot/node\n", m.Throughput()/float64(topo.Nodes()))
 }
 
-func buildTopology(net string, t, g, s, d, k, n int) (sim.Topology, string) {
+// workloadSpec assembles and validates the workload spec shared by the
+// single-run and sweep paths.
+func workloadSpec(kind string, hotGroup int, hotFrac, burstOn, burstOff, burstLow float64, nodes, groupSize int) workload.Spec {
+	k, err := workload.ParseKind(kind)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "netsim: %v\n", err)
+		os.Exit(2)
+	}
+	switch k {
+	case workload.KindHotspot:
+		groups := nodes
+		if groupSize > 1 {
+			groups = nodes / groupSize
+		}
+		if hotGroup < 0 || hotGroup >= groups {
+			fmt.Fprintf(os.Stderr, "netsim: -hotgroup %d out of range (topology has %d groups)\n", hotGroup, groups)
+			os.Exit(2)
+		}
+		if hotFrac < 0 || hotFrac > 1 {
+			fmt.Fprintln(os.Stderr, "netsim: -hotfrac must be a probability in [0,1]")
+			os.Exit(2)
+		}
+		return workload.Spec{Kind: k, HotGroup: hotGroup, Fraction: hotFrac}
+	case workload.KindBursty:
+		if burstOn < 1 || burstOff < 1 || burstLow < 0 || burstLow > 1 {
+			fmt.Fprintln(os.Stderr, "netsim: bursty workload wants -burston >= 1, -burstoff >= 1 and -burstlow in [0,1]")
+			os.Exit(2)
+		}
+		return workload.Spec{Kind: k, MeanOn: burstOn, MeanOff: burstOff, OffFactor: burstLow}
+	default:
+		return workload.Spec{Kind: k}
+	}
+}
+
+// runCollective replays a collective-communication schedule through the
+// live engine (the dynamic T9 of DESIGN.md) and prints per-round delivery
+// against the schedule's intent and the information-theoretic lower bound.
+func runCollective(net string, t, g, s, d, k int, kind string, seed int64) {
+	cfg := sim.Config{Seed: seed}
+	var (
+		res  *workload.ReplayResult
+		err  error
+		desc string
+	)
+	switch {
+	case net == "sk" && kind == "broadcast":
+		nw := stackkautz.New(s, d, k)
+		src := stackkautz.Address{Group: nw.Kautz().LabelOf(0), Member: 0}
+		desc = fmt.Sprintf("SK(%d,%d,%d) broadcast from %s", s, d, k, src)
+		res, err = workload.ReplayBroadcast(nw.StackGraph(), collective.SKBroadcast(nw, src), nw.NodeID(src), cfg)
+	case net == "pops" && kind == "broadcast":
+		p := pops.New(t, g)
+		src := p.NodeID(0, 0)
+		desc = fmt.Sprintf("POPS(%d,%d) broadcast from node %d", t, g, src)
+		res, err = workload.ReplayBroadcast(p.StackGraph(), collective.POPSBroadcast(p, src), src, cfg)
+	case net == "pops" && kind == "gossip":
+		p := pops.New(t, g)
+		desc = fmt.Sprintf("POPS(%d,%d) gossip", t, g)
+		res, err = workload.ReplayGossip(p.StackGraph(), collective.POPSGossip(p), cfg)
+	default:
+		fmt.Fprintf(os.Stderr, "netsim: no %q schedule for -net %s (sk: broadcast; pops: broadcast or gossip)\n", kind, net)
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "netsim: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("%s — %d rounds replayed through the live engine\n", desc, len(res.Rounds))
+	fmt.Printf("%-6s %-14s %-10s %-10s %s\n", "round", "transmissions", "expected", "delivered", "slots")
+	for _, r := range res.Rounds {
+		fmt.Printf("%-6d %-14d %-10d %-10d %d\n", r.Round, r.Transmissions, r.Expected, r.Delivered, r.Slots)
+	}
+	fmt.Printf("total: %d engine slots, %d/%d delivered, rounds >= lower bound %d: %v, dissemination complete: %v\n",
+		res.Slots, res.Delivered, res.Injected, res.LowerBound, len(res.Rounds) >= res.LowerBound, res.Complete)
+	if !res.Complete {
+		os.Exit(1)
+	}
+}
+
+// buildTopology constructs the selected network and returns its simulation
+// topology, a display name, and the group size (nodes per OPS group; 0 for
+// point-to-point baselines) that group-structured workloads consume.
+func buildTopology(net string, t, g, s, d, k, n int) (sim.Topology, string, int) {
 	switch net {
 	case "sk":
 		nw := stackkautz.New(s, d, k)
 		return sim.NewStackTopology(nw.StackGraph()),
-			fmt.Sprintf("SK(%d,%d,%d) N=%d couplers=%d", s, d, k, nw.N(), nw.Couplers())
+			fmt.Sprintf("SK(%d,%d,%d) N=%d couplers=%d", s, d, k, nw.N(), nw.Couplers()), s
 	case "stackii":
 		nw := stackkautz.NewII(s, d, n)
 		return sim.NewStackTopology(nw.StackGraph()),
-			fmt.Sprintf("stack-II(%d,%d,%d) N=%d couplers=%d", s, d, n, nw.N(), nw.Couplers())
+			fmt.Sprintf("stack-II(%d,%d,%d) N=%d couplers=%d", s, d, n, nw.N(), nw.Couplers()), s
 	case "pops":
 		nw := pops.New(t, g)
 		return sim.NewStackTopology(nw.StackGraph()),
-			fmt.Sprintf("POPS(%d,%d) N=%d couplers=%d", t, g, nw.N(), nw.Couplers())
+			fmt.Sprintf("POPS(%d,%d) N=%d couplers=%d", t, g, nw.N(), nw.Couplers()), t
 	case "debruijn":
 		b := kautz.NewDeBruijn(d, k)
 		return sim.NewPointToPointTopology(b.Digraph()),
-			fmt.Sprintf("deBruijn(%d,%d) N=%d links=%d", d, k, b.N(), b.Digraph().M())
+			fmt.Sprintf("deBruijn(%d,%d) N=%d links=%d", d, k, b.N(), b.Digraph().M()), 0
 	default:
 		fmt.Fprintf(os.Stderr, "netsim: unknown topology %q\n", net)
 		os.Exit(2)
@@ -216,6 +369,12 @@ type sweepOpts struct {
 	net                 string
 	t, g, s, d, k, n    int
 	traffic             string
+	trafficSet          bool // -traffic was explicit: legacy factory path
+	workloads           string
+	hotGroup            int
+	hotFrac             float64
+	burstOn, burstOff   float64
+	burstLow            float64
 	rates, modes, waves string
 	seeds               int
 	seedList            []int64 // non-nil overrides seeds (explicit -seed)
@@ -238,23 +397,41 @@ func runSweep(o sweepOpts) {
 		os.Exit(2)
 	}
 	var factory sweep.TrafficFactory
-	switch o.traffic {
-	case "uniform":
-		// Grid default; leave factory nil.
-	case "hotspot":
-		factory = func(rate float64) sim.Traffic {
-			return sim.HotspotTraffic{Rate: rate, Hot: 0, Fraction: 0.3}
+	trafficName := ""
+	if o.trafficSet {
+		// Legacy -traffic factory path, kept for script compatibility.
+		switch o.traffic {
+		case "uniform":
+			// Grid default; leave factory nil.
+		case "hotspot":
+			factory = func(rate float64) sim.Traffic {
+				return sim.HotspotTraffic{Rate: rate, Hot: 0, Fraction: 0.3}
+			}
+		default:
+			fmt.Fprintf(os.Stderr, "netsim: traffic %q is not sweepable (want uniform or hotspot, or use -workload)\n", o.traffic)
+			os.Exit(2)
 		}
-	default:
-		fmt.Fprintf(os.Stderr, "netsim: traffic %q is not sweepable (want uniform or hotspot)\n", o.traffic)
-		os.Exit(2)
+		trafficName = o.traffic
 	}
 	var topos []sweep.Topology
 	if o.net == "all" {
 		topos = sweep.ComparableScaleTrio()
 	} else {
-		topo, desc := buildTopology(o.net, o.t, o.g, o.s, o.d, o.k, o.n)
-		topos = []sweep.Topology{{Name: desc, Topo: topo}}
+		topo, desc, groupSize := buildTopology(o.net, o.t, o.g, o.s, o.d, o.k, o.n)
+		topos = []sweep.Topology{{Name: desc, Topo: topo, GroupSize: groupSize}}
+	}
+	var wspecs []workload.Spec
+	if !o.trafficSet {
+		for _, w := range strings.Split(o.workloads, ",") {
+			w = strings.TrimSpace(w)
+			if w == "" {
+				continue
+			}
+			// Range checks use the first topology; Spec.New materializes
+			// per topology inside the sweep.
+			wspecs = append(wspecs, workloadSpec(w, o.hotGroup, o.hotFrac,
+				o.burstOn, o.burstOff, o.burstLow, topos[0].Topo.Nodes(), topos[0].GroupSize))
+		}
 	}
 	for _, tp := range topos {
 		if err := sim.CheckTopology(tp.Topo); err != nil {
@@ -290,8 +467,9 @@ func runSweep(o sweepOpts) {
 		Slots:       o.slots,
 		Drain:       o.drain,
 		Traffic:     factory,
-		TrafficName: o.traffic,
+		TrafficName: trafficName,
 		Faults:      fspecs,
+		Workloads:   wspecs,
 	}
 	runner := sweep.Runner{Workers: o.workers}
 
@@ -351,22 +529,28 @@ func printSaturation(pts []sweep.SaturationPoint, format string) {
 }
 
 func printCurveTable(curve []sweep.CurvePoint) {
-	withFaults := false
+	withFaults, withTraffic := false, false
 	for _, p := range curve {
 		if !p.Fault.IsZero() {
 			withFaults = true
-			break
+		}
+		if p.TrafficName != "uniform" {
+			withTraffic = true
 		}
 	}
 	faultHdr, faultCol := "", "%.0s"
 	if withFaults {
 		faultHdr, faultCol = fmt.Sprintf(" %-14s", "faults"), " %-14s"
 	}
-	fmt.Printf("%-16s %-6s %-18s %4s"+faultHdr+"  %-18s %-16s %-10s %-8s\n",
+	trafficHdr, trafficCol := "", "%.0s"
+	if withTraffic {
+		trafficHdr, trafficCol = fmt.Sprintf(" %-18s", "traffic"), " %-18s"
+	}
+	fmt.Printf("%-16s"+trafficHdr+" %-6s %-18s %4s"+faultHdr+"  %-18s %-16s %-10s %-8s\n",
 		"topology", "rate", "mode", "w", "thr/slot (±std)", "latency (±std)", "hops", "del%")
 	for _, p := range curve {
-		fmt.Printf("%-16s %-6.3g %-18s %4d"+faultCol+"  %8.3f ±%-8.3f %8.2f ±%-6.2f %-10.2f %-8.1f\n",
-			p.Topology, p.Rate, p.Mode, p.Wavelengths, p.Fault.Label(),
+		fmt.Printf("%-16s"+trafficCol+" %-6.3g %-18s %4d"+faultCol+"  %8.3f ±%-8.3f %8.2f ±%-6.2f %-10.2f %-8.1f\n",
+			p.Topology, p.TrafficName, p.Rate, p.Mode, p.Wavelengths, p.Fault.Label(),
 			p.Throughput.Mean, p.Throughput.Std,
 			p.Latency.Mean, p.Latency.Std,
 			p.Hops.Mean, 100*p.DeliveredFrac.Mean)

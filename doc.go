@@ -4,7 +4,9 @@
 // architecture, OPS couplers, the POPS and stack-Kautz networks, a
 // component-level optical design engine that machine-checks the paper's
 // Proposition 1 and the Figure 11/12 designs end to end, and a slotted-time
-// network simulator with fault injection (live node/coupler/transmitter
+// network simulator with pluggable structured workloads (OTIS transpose,
+// group hotspot, bursty on/off, collective-schedule replay validating the
+// T9 bounds dynamically), fault injection (live node/coupler/transmitter
 // failures validating §2.5 dynamically) and parallel scenario sweeps.
 //
 // The public surface lives in internal packages by design (this module is a

@@ -10,7 +10,10 @@ type Injection struct {
 	Src, Dst int
 }
 
-// Traffic generates the injections of each slot.
+// Traffic generates the injections of each slot. The models in this file
+// are the engine's built-ins; internal/workload provides the richer
+// structured generators (OTIS transpose, group hotspot, bursty on/off,
+// collective replay) behind the same interface.
 type Traffic interface {
 	// Generate appends the injections of one slot to buf and returns the
 	// extended slice. n is the node count. Appending into a caller-owned

@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"otisnet/internal/faults"
+	"otisnet/internal/workload"
 )
 
 // Stat is a sample mean with its standard deviation (sample stddev, n-1;
@@ -45,6 +46,9 @@ type PointKey struct {
 	// the spec, not its label, keeps distinct specs that happen to share a
 	// label (e.g. same shape, different pinned Seed) as separate points.
 	Fault faults.Spec
+	// Workload is the full workload spec (zero for uniform points), keyed
+	// as a value for the same reason as Fault.
+	Workload workload.Spec
 }
 
 // CurvePoint is one aggregated point of a saturation/throughput curve:
@@ -85,6 +89,7 @@ func Aggregate(results []Result) []CurvePoint {
 			Mode:        s.Mode,
 			Wavelengths: s.Wavelengths,
 			Fault:       s.Fault,
+			Workload:    s.Workload,
 		}
 		g, ok := groups[key]
 		if !ok {

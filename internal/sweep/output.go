@@ -11,7 +11,7 @@ import (
 func WriteResultsCSV(w io.Writer, results []Result) error {
 	cw := csv.NewWriter(w)
 	header := []string{
-		"topology", "traffic", "rate", "mode", "wavelengths", "fault", "seed",
+		"topology", "traffic", "workload", "rate", "mode", "wavelengths", "fault", "seed",
 		"slots", "injected", "delivered", "dropped", "backlog",
 		"throughput", "per_node_throughput", "avg_latency", "avg_hops",
 		"peak_queue", "deflections",
@@ -25,6 +25,7 @@ func WriteResultsCSV(w io.Writer, results []Result) error {
 		row := []string{
 			s.Topology.Name,
 			s.TrafficName,
+			s.Workload.Label(),
 			fmt.Sprintf("%g", s.Rate),
 			s.Mode.String(),
 			fmt.Sprintf("%d", s.Wavelengths),
@@ -58,7 +59,7 @@ func WriteResultsCSV(w io.Writer, results []Result) error {
 func WriteCurveCSV(w io.Writer, points []CurvePoint) error {
 	cw := csv.NewWriter(w)
 	header := []string{
-		"topology", "traffic", "rate", "mode", "wavelengths", "fault", "seeds",
+		"topology", "traffic", "workload", "rate", "mode", "wavelengths", "fault", "seeds",
 		"throughput_mean", "throughput_std",
 		"per_node_throughput_mean", "per_node_throughput_std",
 		"latency_mean", "latency_std",
@@ -73,6 +74,7 @@ func WriteCurveCSV(w io.Writer, points []CurvePoint) error {
 		row := []string{
 			p.Topology,
 			p.TrafficName,
+			p.Workload.Label(),
 			fmt.Sprintf("%g", p.Rate),
 			p.Mode.String(),
 			fmt.Sprintf("%d", p.Wavelengths),
@@ -105,6 +107,7 @@ func WriteCurveCSV(w io.Writer, points []CurvePoint) error {
 type resultJSON struct {
 	Topology    string  `json:"topology"`
 	Traffic     string  `json:"traffic"`
+	Workload    string  `json:"workload"`
 	Rate        float64 `json:"rate"`
 	Mode        string  `json:"mode"`
 	Wavelengths int     `json:"wavelengths"`
@@ -135,6 +138,7 @@ func WriteResultsJSON(w io.Writer, results []Result) error {
 		out[i] = resultJSON{
 			Topology:      s.Topology.Name,
 			Traffic:       s.TrafficName,
+			Workload:      s.Workload.Label(),
 			Rate:          s.Rate,
 			Mode:          s.Mode.String(),
 			Wavelengths:   s.Wavelengths,
@@ -170,6 +174,7 @@ func WriteCurveJSON(w io.Writer, points []CurvePoint) error {
 	type pointJSON struct {
 		Topology      string   `json:"topology"`
 		Traffic       string   `json:"traffic"`
+		Workload      string   `json:"workload"`
 		Rate          float64  `json:"rate"`
 		Mode          string   `json:"mode"`
 		Wavelengths   int      `json:"wavelengths"`
@@ -189,6 +194,7 @@ func WriteCurveJSON(w io.Writer, points []CurvePoint) error {
 		out[i] = pointJSON{
 			Topology:      p.Topology,
 			Traffic:       p.TrafficName,
+			Workload:      p.Workload.Label(),
 			Rate:          p.Rate,
 			Mode:          p.Mode.String(),
 			Wavelengths:   p.Wavelengths,

@@ -10,11 +10,12 @@ import (
 // ComparableScaleTrio builds the paper's §5-style comparison set at equal
 // scale: SK(6,3,2) with N=72, POPS(9,8) with N=72, and the point-to-point
 // de Bruijn(3,4) baseline with N=81. Both cmd/netsim ("-net all") and the
-// T7 experiment use this single definition so the trio cannot drift.
+// T7 experiment use this single definition so the trio cannot drift. Group
+// sizes (s, t, none) parameterize group-structured workloads.
 func ComparableScaleTrio() []Topology {
 	return []Topology{
-		{Name: "SK(6,3,2)", Topo: sim.NewStackTopology(stackkautz.New(6, 3, 2).StackGraph())},
-		{Name: "POPS(9,8)", Topo: sim.NewStackTopology(pops.New(9, 8).StackGraph())},
+		{Name: "SK(6,3,2)", Topo: sim.NewStackTopology(stackkautz.New(6, 3, 2).StackGraph()), GroupSize: 6},
+		{Name: "POPS(9,8)", Topo: sim.NewStackTopology(pops.New(9, 8).StackGraph()), GroupSize: 9},
 		{Name: "deBruijn(3,4)", Topo: sim.NewPointToPointTopology(kautz.NewDeBruijn(3, 4).Digraph())},
 	}
 }

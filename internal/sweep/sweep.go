@@ -21,6 +21,7 @@ import (
 
 	"otisnet/internal/faults"
 	"otisnet/internal/sim"
+	"otisnet/internal/workload"
 )
 
 // Mode selects the contention-resolution discipline of a scenario.
@@ -41,10 +42,14 @@ func (m Mode) String() string {
 	return "store-and-forward"
 }
 
-// Topology pairs a simulation topology with a display name.
+// Topology pairs a simulation topology with a display name. GroupSize is
+// the node count per group (s for stack networks, t for POPS), used by
+// group-structured workloads (transpose, hotspot); 0 means no group
+// structure and degenerates those workloads to their single-node forms.
 type Topology struct {
-	Name string
-	Topo sim.Topology
+	Name      string
+	Topo      sim.Topology
+	GroupSize int
 }
 
 // TrafficFactory builds a traffic model for a given offered load. The
@@ -67,6 +72,10 @@ type Scenario struct {
 	// Fault describes the fault-injection axis; the zero value runs on the
 	// bare topology (bit-for-bit identical to pre-fault sweeps).
 	Fault faults.Spec
+	// Workload selects the traffic generator when Traffic is nil; the zero
+	// spec is the uniform workload, bit-for-bit identical to pre-workload
+	// sweeps. An explicit Traffic value takes precedence.
+	Workload workload.Spec
 }
 
 // topo returns the scenario's topology, wrapped in a private fault layer
@@ -86,12 +95,16 @@ func (s Scenario) Config() sim.Config {
 	}
 }
 
-// traffic returns the scenario's traffic model, defaulting to uniform.
+// traffic returns the scenario's traffic model: an explicit Traffic value
+// wins, else the Workload spec is materialized for this topology (the zero
+// spec is uniform — workload.Uniform delegates to sim.UniformTraffic, so
+// legacy grids reproduce bit for bit). One generator per scenario: bursty
+// workloads are stateful and never shared across engines.
 func (s Scenario) traffic() sim.Traffic {
 	if s.Traffic != nil {
 		return s.Traffic
 	}
-	return sim.UniformTraffic{Rate: s.Rate}
+	return s.Workload.New(s.Rate, s.Topology.Topo.Nodes(), s.Topology.GroupSize)
 }
 
 // Grid is a cross-product description of scenarios. Zero-valued axes get
@@ -105,17 +118,21 @@ type Grid struct {
 	MaxQueue    int
 	Slots       int
 	Drain       int
-	// Traffic builds the traffic model per rate; nil means uniform.
+	// Traffic builds the traffic model per rate; nil means the Workloads
+	// axis (or uniform). A non-nil factory overrides Workloads entirely.
 	Traffic     TrafficFactory
 	TrafficName string
 	// Faults is the fault-injection axis: each spec is crossed with every
 	// other axis (e.g. node-fault counts 0..d for a degradation curve).
 	// Empty means the single fault-free spec.
 	Faults []faults.Spec
+	// Workloads is the workload axis: each spec is crossed with every other
+	// axis. Empty means the single uniform workload.
+	Workloads []workload.Spec
 }
 
 // Points expands the grid into scenarios in deterministic order:
-// topology-major, then rate, mode, wavelengths, fault, seed.
+// topology-major, then rate, mode, wavelengths, workload, fault, seed.
 func (g Grid) Points() []Scenario {
 	rates := g.Rates
 	if len(rates) == 0 {
@@ -137,43 +154,56 @@ func (g Grid) Points() []Scenario {
 	if slots == 0 {
 		slots = 1000
 	}
-	name := g.TrafficName
-	if name == "" {
-		name = "uniform"
-	}
 	fspecs := g.Faults
 	if len(fspecs) == 0 {
 		fspecs = []faults.Spec{{}}
+	}
+	wspecs := g.Workloads
+	if len(wspecs) == 0 || g.Traffic != nil {
+		// An explicit Traffic factory overrides the workload axis entirely;
+		// collapsing the axis here keeps the point count honest (no
+		// duplicated scenarios keyed by specs that had no effect).
+		wspecs = []workload.Spec{{}}
 	}
 	var pts []Scenario
 	for _, topo := range g.Topologies {
 		for _, rate := range rates {
 			for _, mode := range modes {
 				for _, w := range waves {
-					for _, fs := range fspecs {
-						if fs.MTBF > 0 && fs.Horizon == 0 {
-							fs.Horizon = slots
+					for _, wl := range wspecs {
+						// The traffic label: an explicit TrafficName wins,
+						// else the workload's own label ("uniform" for the
+						// zero spec, matching the pre-workload default).
+						name := g.TrafficName
+						if name == "" {
+							name = wl.Label()
 						}
-						for _, seed := range seeds {
-							// One factory call per scenario: Traffic values
-							// are never shared across engines/goroutines.
-							var tr sim.Traffic
-							if g.Traffic != nil {
-								tr = g.Traffic(rate)
+						for _, fs := range fspecs {
+							if fs.MTBF > 0 && fs.Horizon == 0 {
+								fs.Horizon = slots
 							}
-							pts = append(pts, Scenario{
-								Topology:    topo,
-								TrafficName: name,
-								Traffic:     tr,
-								Rate:        rate,
-								Seed:        seed,
-								Mode:        mode,
-								Wavelengths: w,
-								MaxQueue:    g.MaxQueue,
-								Slots:       slots,
-								Drain:       g.Drain,
-								Fault:       fs,
-							})
+							for _, seed := range seeds {
+								// One factory call per scenario: Traffic values
+								// are never shared across engines/goroutines.
+								var tr sim.Traffic
+								if g.Traffic != nil {
+									tr = g.Traffic(rate)
+								}
+								pts = append(pts, Scenario{
+									Topology:    topo,
+									TrafficName: name,
+									Traffic:     tr,
+									Rate:        rate,
+									Seed:        seed,
+									Mode:        mode,
+									Wavelengths: w,
+									Workload:    wl,
+									MaxQueue:    g.MaxQueue,
+									Slots:       slots,
+									Drain:       g.Drain,
+									Fault:       fs,
+								})
+							}
 						}
 					}
 				}
@@ -298,6 +328,9 @@ func (r Runner) fan(n int, fn func(i int)) {
 func (s Scenario) Label() string {
 	l := fmt.Sprintf("%s/%s r=%.3g w=%d seed=%d %s",
 		s.Topology.Name, s.TrafficName, s.Rate, s.Wavelengths, s.Seed, s.Mode)
+	if !s.Workload.IsZero() && s.TrafficName != s.Workload.Label() {
+		l += " workload=" + s.Workload.Label()
+	}
 	if !s.Fault.IsZero() {
 		l += " faults=" + s.Fault.Label()
 	}

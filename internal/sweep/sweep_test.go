@@ -175,7 +175,7 @@ func TestWriteResultsCSV(t *testing.T) {
 	if len(lines) != 3 { // header + 2 rows
 		t.Fatalf("CSV has %d lines, want 3:\n%s", len(lines), buf.String())
 	}
-	if !strings.HasPrefix(lines[0], "topology,traffic,rate,mode,") {
+	if !strings.HasPrefix(lines[0], "topology,traffic,workload,rate,mode,") {
 		t.Fatalf("unexpected CSV header: %s", lines[0])
 	}
 }

@@ -1,0 +1,158 @@
+package workload
+
+import (
+	"fmt"
+
+	"otisnet/internal/collective"
+	"otisnet/internal/hypergraph"
+	"otisnet/internal/sim"
+)
+
+// RoundResult records one collective-schedule round replayed through the
+// live engine.
+type RoundResult struct {
+	Round         int // 1-based schedule round
+	Transmissions int // scheduled transmissions in the round
+	Expected      int // intended receptions (head-set sizes, excluding self)
+	Delivered     int // messages the engine actually delivered
+	Slots         int // engine slots the round took to drain
+}
+
+// ReplayResult is the outcome of replaying a collective schedule.
+type ReplayResult struct {
+	Rounds    []RoundResult
+	Slots     int // total engine slots across rounds
+	Injected  int
+	Delivered int
+	// Complete reports whether the dissemination goal was reached from the
+	// deliveries the engine actually made (knowledge tracked per message).
+	Complete bool
+	// LowerBound is the information-theoretic round lower bound of the
+	// collective (internal/collective); a valid complete schedule satisfies
+	// len(Rounds) >= LowerBound.
+	LowerBound int
+}
+
+// ReplayBroadcast drives a one-to-all broadcast schedule from src through
+// the live engine: each round's transmissions are expanded into unicast
+// messages from the scheduled sender to every head of its coupler, injected
+// together, and the engine runs until the round drains — so each round
+// experiences real coupler arbitration instead of the static semantics of
+// Schedule.Execute. Receivers learn what their sender held at the start of
+// the round, exactly as in the static model; Complete reports whether every
+// node ends up holding src's data. An error means the engine under-delivered
+// a round (impossible with unbounded queues on a static topology) or a
+// round failed to drain.
+func ReplayBroadcast(sg *hypergraph.StackGraph, sched *collective.Schedule, src int, cfg sim.Config) (*ReplayResult, error) {
+	res, know, err := replay(sg, sched, cfg)
+	if err != nil {
+		return nil, err
+	}
+	res.LowerBound = collective.BroadcastLowerBound(sg, src)
+	res.Complete = true
+	for v := 0; v < sg.N(); v++ {
+		if !know[v][src] {
+			res.Complete = false
+			break
+		}
+	}
+	return res, nil
+}
+
+// ReplayGossip drives an all-to-all gossip schedule through the live
+// engine, with the same unicast expansion and per-round draining as
+// ReplayBroadcast; Complete reports whether every node ends up holding
+// every node's data.
+func ReplayGossip(sg *hypergraph.StackGraph, sched *collective.Schedule, cfg sim.Config) (*ReplayResult, error) {
+	res, know, err := replay(sg, sched, cfg)
+	if err != nil {
+		return nil, err
+	}
+	res.LowerBound = collective.GossipLowerBound(sg)
+	res.Complete = true
+	for v := 0; v < sg.N() && res.Complete; v++ {
+		for w := 0; w < sg.N(); w++ {
+			if !know[v][w] {
+				res.Complete = false
+				break
+			}
+		}
+	}
+	return res, nil
+}
+
+// replay is the shared round loop. know[v][w] tracks whether v holds w's
+// data; a delivered message from u teaches its destination everything u
+// held when the round started (synchronous-round semantics, matching
+// collective.Schedule.Execute).
+func replay(sg *hypergraph.StackGraph, sched *collective.Schedule, cfg sim.Config) (*ReplayResult, [][]bool, error) {
+	n := sg.N()
+	topo := sim.NewStackTopology(sg)
+	e := sim.NewEngine(topo, cfg)
+
+	know := make([][]bool, n)
+	for v := range know {
+		know[v] = make([]bool, n)
+		know[v][v] = true
+	}
+	// snapshots holds, per sender of the current round, its knowledge at
+	// round start; OnDeliver applies it to the receiver immediately (within
+	// a round no receiver transmits, so immediate application is equivalent
+	// to the end-of-round batch of the static model).
+	snapshots := map[int][]bool{}
+	e.OnDeliver = func(msg sim.Message, _ int) {
+		snap := snapshots[msg.Src]
+		dst := know[msg.Dst]
+		for w, h := range snap {
+			if h {
+				dst[w] = true
+			}
+		}
+	}
+
+	res := &ReplayResult{}
+	delivered := 0
+	for i, round := range sched.Rounds {
+		for k := range snapshots {
+			delete(snapshots, k)
+		}
+		rr := RoundResult{Round: i + 1, Transmissions: len(round)}
+		for _, tr := range round {
+			if _, ok := snapshots[tr.Node]; !ok {
+				snap := make([]bool, n)
+				copy(snap, know[tr.Node])
+				snapshots[tr.Node] = snap
+			}
+			for _, h := range sg.Hyperarc(tr.Coupler).Head {
+				if h == tr.Node {
+					continue
+				}
+				e.Inject(tr.Node, h)
+				rr.Expected++
+			}
+		}
+		// Drain the round: every queued message is one hop from its
+		// destination, so each slot with backlog delivers at least one
+		// message; the cap only trips if that invariant breaks.
+		maxSlots := 2*rr.Expected + 4
+		for s := 0; s < maxSlots && e.Metrics().Backlog > 0; s++ {
+			e.Step()
+			rr.Slots++
+		}
+		if e.Metrics().Backlog > 0 {
+			return nil, nil, fmt.Errorf("workload: round %d failed to drain within %d slots", i+1, maxSlots)
+		}
+		rr.Delivered = e.Metrics().Delivered - delivered
+		delivered = e.Metrics().Delivered
+		if rr.Delivered != rr.Expected {
+			return nil, nil, fmt.Errorf("workload: round %d delivered %d of %d expected receptions",
+				i+1, rr.Delivered, rr.Expected)
+		}
+		res.Rounds = append(res.Rounds, rr)
+		res.Slots += rr.Slots
+	}
+	m := e.Metrics()
+	res.Injected = m.Injected
+	res.Delivered = m.Delivered
+	return res, know, nil
+}

@@ -1,0 +1,109 @@
+package workload
+
+import (
+	"testing"
+
+	"otisnet/internal/collective"
+	"otisnet/internal/pops"
+	"otisnet/internal/sim"
+	"otisnet/internal/stackkautz"
+)
+
+func TestReplayBroadcastSKCompletes(t *testing.T) {
+	nw := stackkautz.New(6, 3, 2)
+	src := stackkautz.Address{Group: nw.Kautz().LabelOf(0), Member: 0}
+	sched := collective.SKBroadcast(nw, src)
+	res, err := ReplayBroadcast(nw.StackGraph(), sched, nw.NodeID(src), sim.Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Complete {
+		t.Fatal("live replay did not complete the broadcast")
+	}
+	if len(res.Rounds) != sched.Slots() {
+		t.Fatalf("replayed %d rounds, schedule has %d", len(res.Rounds), sched.Slots())
+	}
+	if len(res.Rounds) < res.LowerBound {
+		t.Fatalf("round count %d below the lower bound %d — bound or schedule broken",
+			len(res.Rounds), res.LowerBound)
+	}
+	if res.Delivered != res.Injected {
+		t.Fatalf("delivered %d of %d injected", res.Delivered, res.Injected)
+	}
+	for _, r := range res.Rounds {
+		if r.Delivered != r.Expected {
+			t.Fatalf("round %d delivered %d of %d", r.Round, r.Delivered, r.Expected)
+		}
+		// Unicast expansion serializes each coupler, so a round with E
+		// receptions needs at least E / couplers slots and at most E.
+		if r.Slots < 1 || r.Slots > r.Expected {
+			t.Fatalf("round %d took %d slots for %d receptions", r.Round, r.Slots, r.Expected)
+		}
+	}
+}
+
+func TestReplayBroadcastPOPSCompletes(t *testing.T) {
+	p := pops.New(4, 4)
+	src := p.NodeID(0, 0)
+	res, err := ReplayBroadcast(p.StackGraph(), collective.POPSBroadcast(p, src), src, sim.Config{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Complete {
+		t.Fatal("POPS broadcast replay incomplete")
+	}
+}
+
+func TestReplayGossipPOPSCompletes(t *testing.T) {
+	p := pops.New(3, 4)
+	sched := collective.POPSGossip(p)
+	res, err := ReplayGossip(p.StackGraph(), sched, sim.Config{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Complete {
+		t.Fatal("POPS gossip replay incomplete: some node missed some data")
+	}
+	if len(res.Rounds) < res.LowerBound {
+		t.Fatalf("gossip rounds %d below lower bound %d", len(res.Rounds), res.LowerBound)
+	}
+}
+
+// TestReplayAgreesWithStaticExecute cross-validates the live replay against
+// the static schedule semantics: both must reach the same dissemination
+// verdict on the same schedules.
+func TestReplayAgreesWithStaticExecute(t *testing.T) {
+	p := pops.New(4, 2)
+	src := p.NodeID(0, 0)
+	bc := collective.POPSBroadcast(p, src)
+	static := bc.Execute(p.StackGraph()).BroadcastComplete(src)
+	res, err := ReplayBroadcast(p.StackGraph(), bc, src, sim.Config{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Complete != static {
+		t.Fatalf("live replay complete=%v, static execute complete=%v", res.Complete, static)
+	}
+	// A truncated schedule must be incomplete in both models.
+	trunc := &collective.Schedule{Rounds: bc.Rounds[:1]}
+	staticTrunc := trunc.Execute(p.StackGraph()).BroadcastComplete(src)
+	resTrunc, err := ReplayBroadcast(p.StackGraph(), trunc, src, sim.Config{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resTrunc.Complete || staticTrunc {
+		t.Fatal("truncated broadcast schedule should be incomplete in both models")
+	}
+}
+
+func TestReplayRejectsCappedQueues(t *testing.T) {
+	p := pops.New(4, 4)
+	src := p.NodeID(0, 0)
+	// A queue cap of 1 drops most of the round's expansion; the replay must
+	// report the under-delivery instead of silently passing.
+	_, err := ReplayBroadcast(p.StackGraph(), collective.POPSBroadcast(p, src), src,
+		sim.Config{Seed: 1, MaxQueue: 1})
+	if err == nil {
+		t.Fatal("replay with a droppy queue cap should fail")
+	}
+}

@@ -1,0 +1,103 @@
+package workload
+
+import (
+	"fmt"
+
+	"otisnet/internal/sim"
+)
+
+// Kind enumerates the sweepable workload families.
+type Kind int
+
+const (
+	// KindUniform is the legacy uniform random load (the zero value, so a
+	// zero Spec reproduces pre-workload sweeps bit for bit).
+	KindUniform Kind = iota
+	// KindTranspose is the fixed OTIS transpose permutation pattern.
+	KindTranspose
+	// KindHotspot skews a fraction of the load toward one group.
+	KindHotspot
+	// KindBursty modulates uniform load with a two-state on/off process.
+	KindBursty
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindTranspose:
+		return "transpose"
+	case KindHotspot:
+		return "hotspot"
+	case KindBursty:
+		return "bursty"
+	default:
+		return "uniform"
+	}
+}
+
+// ParseKind maps a CLI/workload name to its Kind.
+func ParseKind(s string) (Kind, error) {
+	switch s {
+	case "uniform":
+		return KindUniform, nil
+	case "transpose":
+		return KindTranspose, nil
+	case "hotspot":
+		return KindHotspot, nil
+	case "bursty":
+		return KindBursty, nil
+	}
+	return 0, fmt.Errorf("workload: unknown kind %q (want uniform, transpose, hotspot or bursty)", s)
+}
+
+// Spec is a compact, comparable description of a workload, designed to be a
+// sweep-grid axis next to load, mode, wavelengths and faults: it defers
+// materializing the generator (which needs the concrete node count, group
+// size and offered rate) until the scenario runs. The zero Spec is the
+// uniform workload, so sweeps without a workload axis are unchanged.
+type Spec struct {
+	Kind Kind
+	// HotGroup and Fraction parameterize KindHotspot.
+	HotGroup int
+	Fraction float64
+	// MeanOn and MeanOff are the mean burst durations of KindBursty, in
+	// slots; OffFactor scales the offered rate in the off state (0 = silent
+	// gaps, 1 = no modulation).
+	MeanOn, MeanOff float64
+	OffFactor       float64
+}
+
+// IsZero reports whether the spec is the default uniform workload.
+func (s Spec) IsZero() bool { return s == Spec{} }
+
+// Label is the human- and CSV-facing workload identifier.
+func (s Spec) Label() string {
+	switch s.Kind {
+	case KindTranspose:
+		return "transpose"
+	case KindHotspot:
+		return fmt.Sprintf("hotspot(g%d,%g)", s.HotGroup, s.Fraction)
+	case KindBursty:
+		return fmt.Sprintf("bursty(%g/%g,%g)", s.MeanOn, s.MeanOff, s.OffFactor)
+	default:
+		return "uniform"
+	}
+}
+
+// New materializes the generator for a network of n nodes arranged as
+// groups of groupSize (0 or 1 when the topology has no group structure),
+// injecting at the given per-node rate. Each call returns an independent
+// generator, safe for one concurrent scenario each (KindBursty is
+// stateful).
+func (s Spec) New(rate float64, n, groupSize int) sim.Traffic {
+	switch s.Kind {
+	case KindTranspose:
+		return NewTranspose(rate, n, groupSize)
+	case KindHotspot:
+		return Hotspot{Rate: rate, Group: s.HotGroup, GroupSize: groupSize, Fraction: s.Fraction}
+	case KindBursty:
+		return &Bursty{OnRate: rate, OffRate: s.OffFactor * rate, MeanOn: s.MeanOn, MeanOff: s.MeanOff}
+	default:
+		return Uniform{Rate: rate}
+	}
+}
