@@ -6,6 +6,7 @@
 package otisnet
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 
@@ -19,6 +20,7 @@ import (
 	"otisnet/internal/hypergraph"
 	"otisnet/internal/imase"
 	"otisnet/internal/kautz"
+	"otisnet/internal/legacysim"
 	"otisnet/internal/ops"
 	"otisnet/internal/optical"
 	"otisnet/internal/otis"
@@ -256,6 +258,62 @@ func BenchmarkT7SimThroughput(b *testing.B) {
 	}
 }
 
+// BenchmarkT7LegacyEngine runs the identical T7 workload on the frozen
+// pre-compilation reference engine (internal/legacysim: interface dispatch
+// per routing decision, O(N) queue scan and O(M) coupler clear per slot).
+// Together with BenchmarkT7SimThroughput it measures the compiled engine's
+// speedup on the same machine in the same run; scripts/bench.sh records
+// the pair in BENCH_4.json.
+func BenchmarkT7LegacyEngine(b *testing.B) {
+	topo := sim.NewStackTopology(stackkautz.New(6, 3, 2).StackGraph())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := legacysim.Run(topo, sim.UniformTraffic{Rate: 0.2}, 200, 200, sim.Config{Seed: int64(i)})
+		if m.Delivered == 0 {
+			b.Fatal("nothing delivered")
+		}
+	}
+}
+
+// BenchmarkStepLargeN measures the O(active)-stepping win at production
+// scale: point-to-point Kautz networks of thousands of nodes under a fixed
+// absolute load (64 fresh messages per slot regardless of N). With the
+// active-node list and touched-coupler bitmap, slot cost tracks the number
+// of in-flight messages, so ns/op stays roughly flat as N doubles — the
+// legacy engine's O(N + M) per-slot scans would double it. The compiled
+// engine borrows the topology's route table and distance rows, so even at
+// N ≈ 12k compilation is O(N + M) and Step allocates nothing.
+func BenchmarkStepLargeN(b *testing.B) {
+	for _, k := range []int{12, 13} {
+		kg := kautz.New(2, k)
+		b.Run(fmt.Sprintf("KG(2,%d)-N=%d", k, kg.N()), func(b *testing.B) {
+			topo := sim.NewPointToPointTopology(kg.Digraph())
+			e := sim.NewEngine(topo, sim.Config{Seed: 1})
+			n := topo.Nodes()
+			slot := 0
+			const perSlot = 64
+			step := func() {
+				off := 1 + (slot*7919)%(n-1)
+				base := (slot * 131) % n
+				for j := 0; j < perSlot; j++ {
+					u := (base + j*97) % n
+					e.Inject(u, (u+off)%n)
+				}
+				e.Step()
+				slot++
+			}
+			for i := 0; i < 300; i++ { // warmup to steady in-flight population
+				step()
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				step()
+			}
+		})
+	}
+}
+
 // BenchmarkStepAllocFree drives the engine at a sustained sub-saturation
 // load and verifies the simulation hot path is allocation-free in steady
 // state: the "step" variant measures Engine.Step alone under a
@@ -367,10 +425,10 @@ func BenchmarkFaultSweepDegradation(b *testing.B) {
 	}
 }
 
-// BenchmarkSweepGrid fans a 24-point scenario grid (3 loads x 4 seeds x
-// 2 modes) across the sweep worker pool and aggregates the curve.
-func BenchmarkSweepGrid(b *testing.B) {
-	grid := sweep.Grid{
+// sweepGridT7 is the 24-point scenario grid (3 loads x 4 seeds x 2 modes)
+// shared by BenchmarkSweepGrid and its frozen-engine counterpart.
+func sweepGridT7() sweep.Grid {
+	return sweep.Grid{
 		Topologies: []sweep.Topology{
 			{Name: "SK(6,3,2)", Topo: sim.NewStackTopology(stackkautz.New(6, 3, 2).StackGraph())},
 		},
@@ -380,9 +438,39 @@ func BenchmarkSweepGrid(b *testing.B) {
 		Slots: 200,
 		Drain: 200,
 	}
+}
+
+// BenchmarkSweepGrid fans a 24-point scenario grid (3 loads x 4 seeds x
+// 2 modes) across the sweep worker pool — each worker reusing one compiled
+// engine across its scenarios — and aggregates the curve.
+func BenchmarkSweepGrid(b *testing.B) {
+	grid := sweepGridT7()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		curve := sweep.Aggregate(sweep.Runner{}.RunGrid(grid))
+		if len(curve) != 6 {
+			b.Fatalf("expected 6 curve points, got %d", len(curve))
+		}
+	}
+}
+
+// BenchmarkSweepGridLegacyEngine runs the identical 24-point grid
+// scenario by scenario on the frozen reference engine (one fresh engine
+// per scenario, as the pre-reuse sweep did), the same-machine baseline
+// scripts/bench.sh pairs with BenchmarkSweepGrid in BENCH_4.json.
+func BenchmarkSweepGridLegacyEngine(b *testing.B) {
+	grid := sweepGridT7()
+	points := grid.Points()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		results := make([]sweep.Result, len(points))
+		for j, p := range points {
+			results[j] = sweep.Result{
+				Scenario: p,
+				Metrics:  legacysim.Run(p.Topology.Topo, sim.UniformTraffic{Rate: p.Rate}, p.Slots, p.Drain, p.Config()),
+			}
+		}
+		curve := sweep.Aggregate(results)
 		if len(curve) != 6 {
 			b.Fatalf("expected 6 curve points, got %d", len(curve))
 		}

@@ -42,10 +42,12 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"math/rand"
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"otisnet/internal/collective"
 	"otisnet/internal/faults"
@@ -76,6 +78,7 @@ func main() {
 		burst    = flag.Int("burst", 500, "messages for burst traffic")
 		waves    = flag.Int("wavelengths", 1, "wavelengths per coupler (WDM extension)")
 		saturate = flag.Bool("saturate", false, "binary-search the saturation rate instead of one run")
+		repeat   = flag.Int("repeat", 1, "repeat the scenario with seeds seed..seed+repeat-1 on one reused engine; reports mean/stddev and engine speed")
 
 		workloadF   = flag.String("workload", "uniform", `workload: "uniform", "transpose", "hotspot", "bursty" or "collective"; sweep: comma list (no collective)`)
 		hotGroup    = flag.Int("hotgroup", 0, "hotspot workload: target group index")
@@ -116,6 +119,10 @@ func main() {
 		// setting both a legacy flag and its sweep counterpart is an error.
 		if strings.Contains(*workloadF, "collective") {
 			fmt.Fprintln(os.Stderr, "netsim: the collective workload replays a schedule and is not sweepable; drop -sweep")
+			os.Exit(2)
+		}
+		if explicit["repeat"] {
+			fmt.Fprintln(os.Stderr, "netsim: -repeat is a single-scenario flag; use -seeds for sweep repetitions")
 			os.Exit(2)
 		}
 		conflicts := [][2]string{{"rate", "rates"}, {"deflect", "modes"}, {"wavelengths", "waveset"}, {"seed", "seeds"}, {"faults", "faultset"}}
@@ -196,7 +203,7 @@ func main() {
 		// engine on the fault-free topology; reject flags it would silently
 		// ignore rather than report a scenario that never ran.
 		for _, f := range []string{"rate", "slots", "drain", "deflect", "wavelengths", "maxq", "saturate",
-			"faults", "faultkind", "faultslot", "mtbf", "mttr"} {
+			"repeat", "faults", "faultkind", "faultslot", "mtbf", "mttr"} {
 			if explicit[f] {
 				fmt.Fprintf(os.Stderr, "netsim: -%s does not apply to the collective replay workload\n", f)
 				os.Exit(2)
@@ -217,45 +224,111 @@ func main() {
 		desc += " faults=" + spec.Label()
 	}
 
-	var tr sim.Traffic
+	// newTraffic builds a fresh generator per run: bursty (and other
+	// stateful) workloads must not carry modulation state from one
+	// repetition into the next.
 	trafficName := *traffic
+	var newTraffic func() sim.Traffic
 	if explicit["traffic"] {
 		// Legacy single-run traffic models, kept for script compatibility;
 		// -workload is the richer replacement.
 		switch *traffic {
 		case "uniform":
-			tr = sim.UniformTraffic{Rate: *rate}
+			newTraffic = func() sim.Traffic { return sim.UniformTraffic{Rate: *rate} }
 		case "perm":
-			tr = sim.NewPermutationTraffic(*rate, topo.Nodes(), rand.New(rand.NewSource(*seed)))
+			newTraffic = func() sim.Traffic {
+				return sim.NewPermutationTraffic(*rate, topo.Nodes(), rand.New(rand.NewSource(*seed)))
+			}
 		case "hotspot":
-			tr = sim.HotspotTraffic{Rate: *rate, Hot: 0, Fraction: 0.3}
+			newTraffic = func() sim.Traffic { return sim.HotspotTraffic{Rate: *rate, Hot: 0, Fraction: 0.3} }
 		case "burst":
-			tr = sim.BurstTraffic{Messages: *burst}
+			newTraffic = func() sim.Traffic { return sim.BurstTraffic{Messages: *burst} }
 		default:
 			fmt.Fprintf(os.Stderr, "netsim: unknown traffic %q\n", *traffic)
 			os.Exit(2)
 		}
 	} else {
 		wspec := workloadSpec(*workloadF, *hotGroup, *hotFrac, *burstOn, *burstOff, *burstLow, topo.Nodes(), groupSize)
-		tr = wspec.New(*rate, topo.Nodes(), groupSize)
+		newTraffic = func() sim.Traffic { return wspec.New(*rate, topo.Nodes(), groupSize) }
 		trafficName = wspec.Label()
 	}
 
 	cfg := sim.Config{Seed: *seed, MaxQueue: *maxQ, Deflection: *deflect, Wavelengths: *waves}
 	if *saturate {
+		if explicit["repeat"] {
+			fmt.Fprintln(os.Stderr, "netsim: -repeat does not apply to -saturate (the search already reuses one engine)")
+			os.Exit(2)
+		}
 		rate := sim.SaturationSearch(topo, *slots, 0.95, cfg)
 		fmt.Printf("%s: saturation rate ≈ %.4f msgs/node/slot (95%% delivery, %d-slot runs, w=%d)\n",
 			desc, rate, *slots, *waves)
 		return
 	}
-	m := sim.Run(topo, tr, *slots, *drain, cfg)
 	mode := "store-and-forward"
 	if *deflect {
 		mode = "hot-potato"
 	}
+	if *repeat > 1 {
+		runRepeated(topo, desc, trafficName, mode, newTraffic, cfg, *seed, *repeat, *slots, *drain, *rate)
+		return
+	}
+	m := sim.Run(topo, newTraffic(), *slots, *drain, cfg)
 	fmt.Printf("%s  traffic=%s rate=%.2f mode=%s\n", desc, trafficName, *rate, mode)
 	fmt.Println(m)
 	fmt.Printf("per-node throughput: %.4f msgs/slot/node\n", m.Throughput()/float64(topo.Nodes()))
+}
+
+// runRepeated executes the scenario `repeat` times with consecutive seeds
+// on one reused engine (compiled once, Reset per run), reporting per-seed
+// mean/stddev of the headline metrics and the engine's simulation speed.
+func runRepeated(topo sim.Topology, desc, trafficName, mode string, newTraffic func() sim.Traffic,
+	cfg sim.Config, seed int64, repeat, slots, drain int, rate float64) {
+	e := sim.NewEngine(topo, cfg)
+	start := time.Now()
+	var thr, lat, hops stats
+	totalSlots := 0
+	for i := 0; i < repeat; i++ {
+		rcfg := cfg
+		rcfg.Seed = seed + int64(i)
+		m := e.Run(newTraffic(), slots, drain, rcfg)
+		thr.add(m.Throughput())
+		lat.add(m.AvgLatency())
+		hops.add(m.AvgHops())
+		totalSlots += m.Slots
+	}
+	elapsed := time.Since(start)
+	fmt.Printf("%s  traffic=%s rate=%.2f mode=%s  %d runs, seeds %d..%d, one reused engine\n",
+		desc, trafficName, rate, mode, repeat, seed, seed+int64(repeat)-1)
+	fmt.Printf("throughput %.3f ± %.3f msgs/slot  latency %.2f ± %.2f slots  hops %.2f ± %.2f\n",
+		thr.mean(), thr.stddev(), lat.mean(), lat.stddev(), hops.mean(), hops.stddev())
+	fmt.Printf("simulated %d slots in %v (%.2f Mslots/s)\n",
+		totalSlots, elapsed.Round(time.Millisecond), float64(totalSlots)/elapsed.Seconds()/1e6)
+}
+
+// stats accumulates mean/stddev over per-run values.
+type stats struct {
+	n          int
+	sum, sumSq float64
+}
+
+func (s *stats) add(v float64) { s.n++; s.sum += v; s.sumSq += v * v }
+
+func (s *stats) mean() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return s.sum / float64(s.n)
+}
+
+func (s *stats) stddev() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	v := s.sumSq/float64(s.n) - s.mean()*s.mean()
+	if v < 0 {
+		v = 0
+	}
+	return math.Sqrt(v)
 }
 
 // workloadSpec assembles and validates the workload spec shared by the

@@ -7,13 +7,6 @@ import (
 	"otisnet/internal/sim"
 )
 
-// routeEntry mirrors the engine-side routing decision: the coupler to
-// request and the preferred next hop; coupler < 0 means no route.
-type routeEntry struct {
-	coupler int32
-	nextHop int32
-}
-
 // FaultedTopology wraps any sim.Topology and replays a fault Plan into it.
 // Failed elements are masked out of OutCouplers/Heads, distances are
 // recomputed on the surviving structure, and the precomputed route table is
@@ -21,6 +14,13 @@ type routeEntry struct {
 // routing inputs actually changed (RowsRebuilt counts them), and between
 // events NextCoupler remains an O(1) lookup, preserving the engine's
 // allocation-free steady-state Step.
+//
+// The table is kept as one flat []sim.RouteEntry (with the packed
+// delivers-here bit) and lent to the engine through RouteTable, with the
+// distance rows lent through DistanceRows: the compiled engine reads the
+// same memory this type repairs, so a fault event invalidates exactly the
+// compiled rows it rebuilds, with no copying or notification beyond the
+// sim.TopologyChange the engine already consumes.
 //
 // FaultedTopology is stateful and single-engine: concurrent scenarios (e.g.
 // sweep workers) must each wrap their own instance around the shared
@@ -31,6 +31,11 @@ type FaultedTopology struct {
 	base sim.Topology
 	plan Plan
 	next int // next unapplied plan event
+	// pristine is true while no event has fired since the last full Reset:
+	// masks clear, live structure and tables identical to the base. It
+	// lets the back-to-back Resets of engine reuse (SetPlan followed by
+	// Engine.Run) skip the O(n²) table restore all but once.
+	pristine bool
 
 	n, m int
 
@@ -45,11 +50,13 @@ type FaultedTopology struct {
 	couplerDown []bool
 	txDown      [][]bool
 
-	// Live (masked) structure and routing state.
+	// Live (masked) structure and routing state. route views routeFlat,
+	// the array lent to the engine via RouteTable.
 	liveOut   [][]int
 	liveHeads [][]int
 	dist      [][]int
-	route     [][]routeEntry
+	route     [][]sim.RouteEntry
+	routeFlat []sim.RouteEntry
 
 	// Event-time scratch.
 	prevDist     []int  // previous dist row during recompute
@@ -79,7 +86,7 @@ func Wrap(base sim.Topology, plan Plan) *FaultedTopology {
 		liveOut:      make([][]int, n),
 		liveHeads:    make([][]int, m),
 		dist:         make([][]int, n),
-		route:        make([][]routeEntry, n),
+		route:        make([][]sim.RouteEntry, n),
 		prevDist:     make([]int, n),
 		distChanged:  make([]bool, n),
 		dirty:        make([]bool, n),
@@ -101,10 +108,10 @@ func Wrap(base sim.Topology, plan Plan) *FaultedTopology {
 		}
 	}
 	distFlat := make([]int, n*n)
-	routeFlat := make([]routeEntry, n*n)
+	ft.routeFlat = make([]sim.RouteEntry, n*n)
 	for u := 0; u < n; u++ {
 		ft.dist[u] = distFlat[u*n : (u+1)*n : (u+1)*n]
-		ft.route[u] = routeFlat[u*n : (u+1)*n : (u+1)*n]
+		ft.route[u] = ft.routeFlat[u*n : (u+1)*n : (u+1)*n]
 	}
 	for _, ev := range plan.Events {
 		ft.validate(ev.Elem)
@@ -144,8 +151,16 @@ func (ft *FaultedTopology) txIndex(u, c int) int {
 
 // Reset restores the pristine (slot-0, pre-event) state: no faults, and
 // distances and route entries copied verbatim from the base topology, so a
-// fresh engine over an unfired plan routes exactly like the base.
+// fresh engine over an unfired plan routes exactly like the base. When no
+// event has fired since the last Reset the state is already pristine and
+// only the plan cursor rewinds.
 func (ft *FaultedTopology) Reset() {
+	if ft.pristine {
+		ft.next = 0
+		ft.rowsRebuilt = 0
+		return
+	}
+	ft.pristine = true
 	ft.next = 0
 	ft.rowsRebuilt = 0
 	for u := 0; u < ft.n; u++ {
@@ -159,17 +174,54 @@ func (ft *FaultedTopology) Reset() {
 		ft.couplerDown[c] = false
 		ft.liveHeads[c] = append(ft.liveHeads[c][:0], ft.baseHeads[c]...)
 	}
-	for u := 0; u < ft.n; u++ {
-		for v := 0; v < ft.n; v++ {
-			ft.dist[u][v] = ft.base.Distance(u, v)
-			c, hop := ft.base.NextCoupler(u, v)
-			ft.route[u][v] = routeEntry{coupler: int32(c), nextHop: int32(hop)}
+	if dr, ok := ft.base.(sim.DistanceRowed); ok {
+		for u, row := range dr.DistanceRows() {
+			copy(ft.dist[u], row)
+		}
+	} else {
+		for u := 0; u < ft.n; u++ {
+			for v := 0; v < ft.n; v++ {
+				ft.dist[u][v] = ft.base.Distance(u, v)
+			}
+		}
+	}
+	if rt, ok := ft.base.(sim.RouteTabled); ok {
+		copy(ft.routeFlat, rt.RouteTable())
+	} else {
+		// Generic bases are queried per pair; the delivers-here bit is the
+		// exact head-set membership the engine needs: dst ∈ Heads(coupler).
+		hears := make([]bool, ft.m)
+		for dst := 0; dst < ft.n; dst++ {
+			for _, c := range ft.headOf[dst] {
+				hears[c] = true
+			}
+			for u := 0; u < ft.n; u++ {
+				c, hop := ft.base.NextCoupler(u, dst)
+				ft.route[u][dst] = sim.MakeRouteEntry(c, hop, c >= 0 && c < ft.m && hears[c])
+			}
+			for _, c := range ft.headOf[dst] {
+				hears[c] = false
+			}
 		}
 	}
 	for _, row := range ft.changedRows {
 		ft.clearChangedRow(row)
 	}
 	ft.changedRows = ft.changedRows[:0]
+}
+
+// SetPlan swaps in a new fault plan and resets to the pristine state,
+// reusing every buffer: a sweep worker drives one FaultedTopology (and the
+// engine compiled over it) through many fault scenarios without
+// reallocating the wrapped structure or the engine's borrowed tables.
+// Results are bit-for-bit identical to wrapping a fresh topology around
+// the plan.
+func (ft *FaultedTopology) SetPlan(plan Plan) {
+	for _, ev := range plan.Events {
+		ft.validate(ev.Elem)
+	}
+	ft.plan = plan
+	ft.Reset()
 }
 
 func (ft *FaultedTopology) clearChangedRow(u int) {
@@ -211,8 +263,17 @@ func (ft *FaultedTopology) Distance(u, dst int) int { return ft.dist[u][dst] }
 // NextCoupler is the O(1) route-table lookup, same contract as the base.
 func (ft *FaultedTopology) NextCoupler(u, dst int) (int, int) {
 	r := ft.route[u][dst]
-	return int(r.coupler), int(r.nextHop)
+	return r.Coupler(), r.NextHop()
 }
+
+// RouteTable lends the engine the live flat route table (sim.RouteTabled).
+// Advance repairs its rows in place, so the compiled engine follows fault
+// reroutes without recompiling.
+func (ft *FaultedTopology) RouteTable() []sim.RouteEntry { return ft.routeFlat }
+
+// DistanceRows lends the engine the live surviving-structure distance rows
+// (sim.DistanceRowed); Advance rewrites row contents in place.
+func (ft *FaultedTopology) DistanceRows() [][]int { return ft.dist }
 
 // --- sim.DynamicTopology ---
 
@@ -223,6 +284,7 @@ func (ft *FaultedTopology) Advance(slot int) sim.TopologyChange {
 	if ft.next >= len(ft.plan.Events) || ft.plan.Events[ft.next].Slot > slot {
 		return sim.TopologyChange{}
 	}
+	ft.pristine = false
 	// Clear the per-event delta state of the previous batch.
 	for _, row := range ft.changedRows {
 		ft.clearChangedRow(row)
@@ -375,8 +437,7 @@ func (ft *FaultedTopology) rebuildRow(u int) {
 	ft.rowsRebuilt++
 	rowFlagged := false
 	for dst := 0; dst < ft.n; dst++ {
-		c, hop := ft.scanEntry(u, dst)
-		e := routeEntry{coupler: c, nextHop: hop}
+		e := ft.scanEntry(u, dst)
 		if e != ft.route[u][dst] {
 			ft.route[u][dst] = e
 			ft.entryChanged[u*ft.n+dst] = true
@@ -390,24 +451,27 @@ func (ft *FaultedTopology) rebuildRow(u int) {
 
 // scanEntry picks, in coupler and head order (same tie-breaking as the
 // base topologies' construction-time oracles), the coupler whose live head
-// set contains the node strictly closest to dst on the surviving distances.
-func (ft *FaultedTopology) scanEntry(u, dst int) (int32, int32) {
+// set contains the node strictly closest to dst on the surviving
+// distances. The scan walks live head sets and only dst itself is at
+// distance 0, so the chosen next hop is dst exactly when dst hears the
+// chosen coupler — which is the packed delivers-here bit.
+func (ft *FaultedTopology) scanEntry(u, dst int) sim.RouteEntry {
 	if u == dst {
-		return -1, int32(u)
+		return sim.MakeRouteEntry(-1, u, false)
 	}
-	best, bestHop := int32(-1), int32(-1)
+	best, bestHop := -1, -1
 	bestDist := ft.dist[u][dst]
 	if bestDist == digraph.Unreachable {
-		return -1, -1
+		return sim.MakeRouteEntry(-1, -1, false)
 	}
 	for _, c := range ft.liveOut[u] {
 		for _, h := range ft.liveHeads[c] {
 			d := ft.dist[h][dst]
 			if d != digraph.Unreachable && d < bestDist {
 				bestDist = d
-				best, bestHop = int32(c), int32(h)
+				best, bestHop = c, h
 			}
 		}
 	}
-	return best, bestHop
+	return sim.MakeRouteEntry(best, bestHop, best >= 0 && bestHop == dst)
 }

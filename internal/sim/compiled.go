@@ -1,0 +1,216 @@
+package sim
+
+// Compiled-topology snapshot: the engine does not call any Topology method
+// inside Step. At construction it compiles the topology into flat arrays —
+// CSR out-coupler and head lists, one row-major route table with a packed
+// delivers-here bit, and distance rows — and steps over those. Topologies
+// that already maintain the tables in this shape (the stack, point-to-point
+// and fault-wrapped topologies) hand the engine their live backing arrays,
+// so compilation is O(n + m + arcs) and dynamic row repairs done by
+// faults.FaultedTopology are visible to the engine without any copying or
+// invalidation protocol. Arbitrary Topology implementations are compiled by
+// querying the interface once per (u, dst) pair.
+
+// deliverFlag marks a RouteEntry whose destination hears the chosen
+// coupler, so delivery needs no head-set scan on the hot path.
+const deliverFlag = 1 << 30
+
+// RouteEntry is a packed, precompiled routing decision: the coupler to
+// request, the preferred next-hop node, and whether the destination itself
+// hears that coupler (the delivers-here bit). The zero value is an
+// unroutable entry pointing at node 0; build entries with MakeRouteEntry.
+type RouteEntry struct {
+	c int32 // coupler id, deliverFlag-tagged; -1 when no route exists
+	h int32 // preferred next hop (the destination when delivers is set)
+}
+
+// MakeRouteEntry packs one routing decision. coupler < 0 means no route
+// (or "already there" when nextHop equals the source).
+func MakeRouteEntry(coupler, nextHop int, delivers bool) RouteEntry {
+	if coupler < 0 {
+		return RouteEntry{c: -1, h: int32(nextHop)}
+	}
+	c := int32(coupler)
+	if delivers {
+		c |= deliverFlag
+	}
+	return RouteEntry{c: c, h: int32(nextHop)}
+}
+
+// Coupler returns the coupler to request, or -1 when no route exists.
+func (r RouteEntry) Coupler() int {
+	if r.c < 0 {
+		return -1
+	}
+	return int(r.c &^ deliverFlag)
+}
+
+// NextHop returns the preferred next-hop node.
+func (r RouteEntry) NextHop() int { return int(r.h) }
+
+// Delivers reports whether the destination hears the chosen coupler.
+func (r RouteEntry) Delivers() bool { return r.c >= 0 && r.c&deliverFlag != 0 }
+
+// RouteTabled is implemented by topologies that maintain their routing
+// decisions as one flat row-major table (entry for (u, dst) at index
+// u*Nodes()+dst). The engine borrows the returned slice as its hot-path
+// route table instead of copying it, so a dynamic topology that repairs
+// rows in place (faults.FaultedTopology) updates the engine for free. The
+// slice identity must be stable for the topology's lifetime.
+type RouteTabled interface {
+	RouteTable() []RouteEntry
+}
+
+// DistanceRowed is implemented by topologies that maintain per-source
+// distance rows (dist[u][dst], digraph.Unreachable = -1 when dst is cut
+// off). The engine borrows the outer slice; dynamic topologies may rewrite
+// row contents in place between slots.
+type DistanceRowed interface {
+	DistanceRows() [][]int
+}
+
+// compile builds the engine's flat topology snapshot. Dynamic topologies
+// must be in their pristine (Reset) state so the CSR slot capacities cover
+// the largest live structure.
+func (e *Engine) compile(topo Topology) {
+	n, m := topo.Nodes(), topo.Couplers()
+	e.n, e.m = n, m
+	e.outStart = make([]int32, n+1)
+	for u := 0; u < n; u++ {
+		e.outStart[u+1] = e.outStart[u] + int32(len(topo.OutCouplers(u)))
+	}
+	e.outCount = make([]int32, n)
+	e.outList = make([]int32, e.outStart[n])
+	e.headStart = make([]int32, m+1)
+	for c := 0; c < m; c++ {
+		e.headStart[c+1] = e.headStart[c] + int32(len(topo.Heads(c)))
+	}
+	e.headCount = make([]int32, m)
+	e.headList = make([]int32, e.headStart[m])
+	e.refreshStructure()
+
+	if rt, ok := topo.(RouteTabled); ok {
+		e.route = rt.RouteTable()
+	} else {
+		e.ownsRoute = true
+		e.route = make([]RouteEntry, n*n)
+		e.rebuildOwnedRoute()
+	}
+	if dr, ok := topo.(DistanceRowed); ok {
+		e.dist = dr.DistanceRows()
+	} else {
+		e.ownsDist = true
+		flat := make([]int, n*n)
+		e.dist = make([][]int, n)
+		for u := 0; u < n; u++ {
+			e.dist[u] = flat[u*n : (u+1)*n : (u+1)*n]
+		}
+		e.rebuildOwnedDist()
+	}
+}
+
+// refreshStructure copies the topology's current out-coupler and head sets
+// into the CSR arrays. Called at compile time and again after every
+// topology change; between changes Step reads only the arrays. Live sets
+// normally stay within the capacity reserved at compile time (fault masks
+// only shrink them); if an exotic dynamic topology outgrows a slot, the
+// CSR is re-laid-out.
+func (e *Engine) refreshStructure() {
+	for u := 0; u < e.n; u++ {
+		oc := e.topo.OutCouplers(u)
+		if int32(len(oc)) > e.outStart[u+1]-e.outStart[u] {
+			e.relayoutOut()
+			return
+		}
+		base := e.outStart[u]
+		for i, c := range oc {
+			e.outList[base+int32(i)] = int32(c)
+		}
+		e.outCount[u] = int32(len(oc))
+	}
+	for c := 0; c < e.m; c++ {
+		hs := e.topo.Heads(c)
+		if int32(len(hs)) > e.headStart[c+1]-e.headStart[c] {
+			e.relayoutHeads()
+			return
+		}
+		base := e.headStart[c]
+		for i, h := range hs {
+			e.headList[base+int32(i)] = int32(h)
+		}
+		e.headCount[c] = int32(len(hs))
+	}
+}
+
+// relayoutOut rebuilds the out-coupler CSR with fresh slot capacities, then
+// retries the full refresh.
+func (e *Engine) relayoutOut() {
+	for u := 0; u < e.n; u++ {
+		e.outStart[u+1] = e.outStart[u] + int32(len(e.topo.OutCouplers(u)))
+	}
+	e.outList = make([]int32, e.outStart[e.n])
+	e.refreshStructure()
+}
+
+// relayoutHeads is the head-list counterpart of relayoutOut.
+func (e *Engine) relayoutHeads() {
+	for c := 0; c < e.m; c++ {
+		e.headStart[c+1] = e.headStart[c] + int32(len(e.topo.Heads(c)))
+	}
+	e.headList = make([]int32, e.headStart[e.m])
+	e.refreshStructure()
+}
+
+// rebuildOwnedRoute recompiles the engine-owned route table by querying the
+// Topology interface once per (u, dst) pair. The delivers-here bit is the
+// exact head-set membership the legacy engine tested per transmission:
+// dst ∈ Heads(chosen coupler).
+func (e *Engine) rebuildOwnedRoute() {
+	// hears[c] marks, for the current dst, the couplers dst listens on.
+	hears := make([]bool, e.m)
+	heardBy := make([][]int32, e.n)
+	for c := 0; c < e.m; c++ {
+		base, cnt := e.headStart[c], e.headCount[c]
+		for hi := base; hi < base+cnt; hi++ {
+			h := int(e.headList[hi])
+			heardBy[h] = append(heardBy[h], int32(c))
+		}
+	}
+	for dst := 0; dst < e.n; dst++ {
+		for _, c := range heardBy[dst] {
+			hears[c] = true
+		}
+		for u := 0; u < e.n; u++ {
+			c, hop := e.topo.NextCoupler(u, dst)
+			e.route[u*e.n+dst] = MakeRouteEntry(c, hop, c >= 0 && c < e.m && hears[c])
+		}
+		for _, c := range heardBy[dst] {
+			hears[c] = false
+		}
+	}
+}
+
+// rebuildOwnedDist refills the engine-owned distance rows in place.
+func (e *Engine) rebuildOwnedDist() {
+	for u := 0; u < e.n; u++ {
+		row := e.dist[u]
+		for v := 0; v < e.n; v++ {
+			row[v] = e.topo.Distance(u, v)
+		}
+	}
+}
+
+// recompileDynamic re-syncs the snapshot after a TopologyChange. Borrowed
+// tables (the RouteTabled / DistanceRowed fast path) were already repaired
+// in place by the topology — faults.FaultedTopology rebuilds exactly the
+// rows its EntryChanged/RowsRebuilt machinery flags — so only the CSR
+// structure needs copying; engine-owned tables are recompiled wholesale.
+func (e *Engine) recompileDynamic() {
+	e.refreshStructure()
+	if e.ownsRoute {
+		e.rebuildOwnedRoute()
+	}
+	if e.ownsDist {
+		e.rebuildOwnedDist()
+	}
+}

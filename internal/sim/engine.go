@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"math/bits"
 	"math/rand"
 )
 
@@ -104,29 +105,94 @@ func (m Metrics) String() string {
 	return s
 }
 
-// Engine simulates a Topology slot by slot. Its hot path (Step) is
-// allocation-free in steady state: queues are ring buffers and all per-slot
-// working sets live in reusable scratch buffers sized once at construction.
+// Engine simulates a Topology slot by slot over a compiled snapshot of it
+// (see compiled.go): inside Step there are no Topology interface calls —
+// routing is one load from a flat table whose delivers-here bit replaces
+// the per-transmission head-set scan, and the coupler structure is read
+// from CSR arrays. Steady-state slot cost is O(active nodes + touched
+// couplers), not O(N + M): nodes with queued traffic live on an active
+// list, and only couplers that saw a request or grant this slot are
+// arbitrated, transmitted and cleared. The hot path is allocation-free
+// once scratch high-water marks are reached, and Reset re-arms the engine
+// for another scenario without reallocating any of it.
 type Engine struct {
-	topo   Topology
-	cfg    Config
-	rng    *rand.Rand
+	topo Topology
+	cfg  Config
+	rng  *rand.Rand
+	// rngSeededFor dedups re-seeding: seeding regenerates the full
+	// math/rand state vector, so Reset skips it when the RNG is already
+	// virgin for the requested seed (the NewEngine-then-Run path).
+	rngSeededFor int64
+	rngVirgin    bool
+
+	// Compiled topology snapshot (compiled.go). route and dist are borrowed
+	// from RouteTabled / DistanceRowed topologies, engine-owned otherwise.
+	n, m      int
+	outStart  []int32 // node u transmits on outList[outStart[u]:outStart[u]+outCount[u]]
+	outCount  []int32
+	outList   []int32
+	headStart []int32 // coupler c is heard by headList[headStart[c]:headStart[c]+headCount[c]]
+	headCount []int32
+	headList  []int32
+	route     []RouteEntry // row-major (u, dst) routing decisions
+	dist      [][]int      // dist[u][dst] for deflection choices
+	ownsRoute bool
+	ownsDist  bool
+
 	queues []ring
 	// rr holds per-coupler round-robin grant cursors for fairness.
-	rr      []int
+	rr      []int32
 	nextID  int
 	slot    int
 	backlog int // queued messages, tracked incrementally
+
+	// active lists the nodes with a non-empty queue; activePos[u] is u's
+	// index in it (-1 when idle). Order is arbitrary — every order-sensitive
+	// consumer sorts its own working set — so activation and deactivation
+	// are O(1) swap-removes.
+	active    []int32
+	activePos []int32
+	// headReq[u] is the precompiled request of u's head-of-line message
+	// (coupler < 0 when it is unroutable), valid while u is active. It is
+	// recomputed when the head changes — enqueue to an empty queue,
+	// dropFront leaving a survivor, topology events — so the per-slot
+	// request scan reads one entry per active node instead of re-deriving
+	// the route.
+	headReq []txRequest
+
 	metrics Metrics
-	// Reusable per-step scratch; cleared (not reallocated) every slot.
+
+	// Reusable per-step scratch; only the entries touched this slot are
+	// cleared, so an idle network steps in near-O(1).
 	requests  []txRequest
-	byCoupler [][]int       // coupler -> request indices
+	byCoupler [][]int32     // coupler -> request indices
 	granted   [][]txRequest // coupler -> granted transmissions
-	winners   []bool        // node -> won arbitration this slot
+	// touched is a bitmap of couplers with requests or grants this slot.
+	// Scanning its words visits touched couplers in ascending id order —
+	// the order transmission must happen in — for O(M/64 + touched) per
+	// slot, cheaper than keeping a sorted list.
+	touched []uint64
+	winners []bool // node -> won arbitration this slot
+	// reqMask is the deflection counterpart of touched: a bitmap of nodes
+	// that requested this slot, scanned in word order so losers deflect in
+	// ascending node id order without sorting. Maintained only when
+	// deflection is on.
+	reqMask []uint64
+	// Single-wavelength fused arbitration: each touched coupler keeps its
+	// current argmin grant in grantSlot[c] with its round-robin key in
+	// bestKey[c]; both are valid only while the coupler's touched bit is
+	// set, so they are never cleared.
+	bestKey   []int32
+	grantSlot []txRequest
+	keys      []int       // arbitration scratch: round-robin sort keys
+	injBuf    []Injection // Run's traffic-generation scratch
 
 	// dyn is non-nil when the topology injects fault/repair events; the
-	// engine polls it for changes at the top of every Step.
-	dyn DynamicTopology
+	// engine polls it for changes at the top of every Step. dynDirty
+	// records that an event actually fired since the last Reset, so Reset
+	// only re-syncs the compiled snapshot when something changed.
+	dyn      DynamicTopology
+	dynDirty bool
 	// Recovery tracking: while recovering, backlog has not yet returned to
 	// recoverBaseline (its level right after the disrupting event).
 	recovering      bool
@@ -140,25 +206,79 @@ type Engine struct {
 	OnDeliver func(msg Message, slot int)
 }
 
-// NewEngine prepares a simulation over the topology. A topology that also
-// implements DynamicTopology (e.g. faults.FaultedTopology) is reset to its
-// pre-event state and polled for fault events every Step.
+// NewEngine compiles the topology and prepares a simulation over it. A
+// topology that also implements DynamicTopology (e.g.
+// faults.FaultedTopology) is reset to its pre-event state — so the
+// compiled snapshot covers the full (pristine) structure — and polled for
+// fault events every Step.
 func NewEngine(topo Topology, cfg Config) *Engine {
-	e := &Engine{
-		topo:      topo,
-		cfg:       cfg,
-		rng:       rand.New(rand.NewSource(cfg.Seed)),
-		queues:    make([]ring, topo.Nodes()),
-		rr:        make([]int, topo.Couplers()),
-		byCoupler: make([][]int, topo.Couplers()),
-		granted:   make([][]txRequest, topo.Couplers()),
-		winners:   make([]bool, topo.Nodes()),
-	}
+	e := &Engine{topo: topo, rng: rand.New(rand.NewSource(cfg.Seed)), rngSeededFor: cfg.Seed, rngVirgin: true}
 	if dyn, ok := topo.(DynamicTopology); ok {
 		dyn.Reset()
 		e.dyn = dyn
 	}
+	e.compile(topo)
+	e.queues = make([]ring, e.n)
+	e.rr = make([]int32, e.m)
+	e.byCoupler = make([][]int32, e.m)
+	e.granted = make([][]txRequest, e.m)
+	e.touched = make([]uint64, (e.m+63)/64)
+	e.winners = make([]bool, e.n)
+	e.reqMask = make([]uint64, (e.n+63)/64)
+	e.bestKey = make([]int32, e.m)
+	e.grantSlot = make([]txRequest, e.m)
+	e.activePos = make([]int32, e.n)
+	e.headReq = make([]txRequest, e.n)
+	e.Reset(cfg)
 	return e
+}
+
+// Reset re-arms the engine for a fresh scenario under cfg: queues, cursors,
+// metrics, the RNG and the slot clock return to their initial state while
+// every buffer (rings, scratch, compiled snapshot) keeps its capacity, so
+// repeated scenarios on one engine allocate nothing. A run after Reset is
+// bit-for-bit identical to a run on a newly constructed engine. Dynamic
+// topologies are rewound to their pre-event state.
+func (e *Engine) Reset(cfg Config) {
+	e.cfg = cfg
+	if !e.rngVirgin || e.rngSeededFor != cfg.Seed {
+		e.rng.Seed(cfg.Seed)
+		e.rngSeededFor = cfg.Seed
+		e.rngVirgin = true
+	}
+	for i := range e.queues {
+		e.queues[i].reset()
+	}
+	for i := range e.rr {
+		e.rr[i] = 0
+	}
+	for i := range e.winners {
+		e.winners[i] = false
+	}
+	for i := range e.activePos {
+		e.activePos[i] = -1
+	}
+	e.active = e.active[:0]
+	// Step leaves byCoupler/granted empty and the touched bitmap zero;
+	// clearing the bitmap here is defense against a hypothetical aborted
+	// slot, not a per-scenario cost that matters.
+	for i := range e.touched {
+		e.touched[i] = 0
+	}
+	for i := range e.reqMask {
+		e.reqMask[i] = 0
+	}
+	e.requests = e.requests[:0]
+	e.nextID, e.slot, e.backlog = 0, 0, 0
+	e.metrics = Metrics{}
+	e.recovering = false
+	if e.dyn != nil {
+		e.dyn.Reset()
+		if e.dynDirty {
+			e.recompileDynamic()
+			e.dynDirty = false
+		}
+	}
 }
 
 // Metrics returns a snapshot of the accumulated metrics, with Backlog and
@@ -174,36 +294,90 @@ func (e *Engine) Metrics() Metrics {
 	return m
 }
 
+// Backlog returns the number of currently queued messages, O(1). Drain
+// loops test it directly instead of materializing a Metrics copy per slot.
+func (e *Engine) Backlog() int { return e.backlog }
+
 // Inject enqueues a message at its source, honoring MaxQueue.
 func (e *Engine) Inject(src, dst int) {
 	if src == dst {
 		return
 	}
 	e.metrics.Injected++
-	e.enqueue(src, Message{ID: e.nextID, Src: src, Dst: dst, Born: e.slot})
+	e.enqueue(src, qmsg{id: int32(e.nextID), src: int32(src), dst: int32(dst), born: int32(e.slot)})
 	e.nextID++
 }
 
-func (e *Engine) enqueue(node int, msg Message) {
-	if e.cfg.MaxQueue > 0 && e.queues[node].len() >= e.cfg.MaxQueue {
+func (e *Engine) enqueue(node int, msg qmsg) {
+	q := &e.queues[node]
+	if e.cfg.MaxQueue > 0 && q.len() >= e.cfg.MaxQueue {
 		e.metrics.Dropped++
 		return
 	}
-	e.queues[node].push(msg)
+	q.push(msg)
 	e.backlog++
-	if e.queues[node].len() > e.metrics.PeakQueue {
-		e.metrics.PeakQueue = e.queues[node].len()
+	if q.len() > e.metrics.PeakQueue {
+		e.metrics.PeakQueue = q.len()
+	}
+	if q.len() == 1 {
+		e.activePos[node] = int32(len(e.active))
+		e.active = append(e.active, int32(node))
+		e.computeHeadReq(node, msg.dst)
 	}
 }
 
-// dequeue pops the head-of-line message at node, keeping backlog in sync.
-func (e *Engine) dequeue(node int) Message {
+// computeHeadReq refreshes node's precompiled head-of-line request from
+// the route table; dst is the head message's destination.
+func (e *Engine) computeHeadReq(node int, dst int32) {
+	r := e.route[node*e.n+int(dst)]
+	if r.c < 0 {
+		e.headReq[node] = txRequest{node: int32(node), coupler: -1}
+		return
+	}
+	e.headReq[node] = txRequest{
+		node: int32(node), coupler: r.c &^ deliverFlag, nextHop: r.h, delivers: r.c&deliverFlag != 0,
+	}
+}
+
+// dropFront discards the head-of-line message at node without copying it
+// out — consumers read the fields they need through front() first — and
+// keeps backlog and the active list in sync. The emptied-queue bookkeeping
+// lives in deactivate so dropFront stays within the inlining budget of the
+// Phase 4 loop.
+func (e *Engine) dropFront(node int) {
 	e.backlog--
-	return e.queues[node].pop()
+	q := &e.queues[node]
+	q.head++
+	if q.head == len(q.buf) {
+		q.head = 0
+	}
+	q.n--
+	if q.n == 0 {
+		e.deactivate(node)
+	} else {
+		e.computeHeadReq(node, q.buf[q.head].dst)
+	}
+}
+
+// deactivate swap-removes a now-idle node from the active list, O(1).
+func (e *Engine) deactivate(node int) {
+	p := e.activePos[node]
+	last := int32(len(e.active) - 1)
+	moved := e.active[last]
+	e.active[p] = moved
+	e.activePos[moved] = p
+	e.active = e.active[:last]
+	e.activePos[node] = -1
 }
 
 // Step advances the simulation by one slot: fault events, arbitration,
-// transmission, delivery or relay.
+// transmission, delivery or relay. No Topology interface calls and no
+// allocations happen here in steady state; per-slot work is proportional
+// to the active nodes and touched couplers (plus an O(M/64 + N/64)
+// bitmap-word scan), not to N or M. The single-wavelength configuration —
+// the paper's networks — takes a fused arbitration path with no
+// per-request list bookkeeping at all; multi-wavelength couplers go
+// through the general candidate-sorting path.
 func (e *Engine) Step() {
 	// Phase 0: apply fault/repair events scheduled for this slot, purging
 	// queues stranded on failed nodes and counting re-routed messages.
@@ -213,117 +387,12 @@ func (e *Engine) Step() {
 		}
 	}
 
-	// Phase 1: each node with a queued message requests its preferred
-	// coupler for the head-of-line message. Everything below iterates in
-	// coupler or node order so runs are deterministic for a given seed.
-	e.requests = e.requests[:0]
-	for c := range e.byCoupler {
-		e.byCoupler[c] = e.byCoupler[c][:0]
-		e.granted[c] = e.granted[c][:0]
-	}
-	for u := 0; u < e.topo.Nodes(); u++ {
-		if e.queues[u].len() == 0 {
-			continue
-		}
-		msg := e.queues[u].front()
-		c, hop := e.topo.NextCoupler(u, msg.Dst)
-		if c < 0 {
-			// Unroutable: on the static, strongly connected topologies this
-			// cannot happen; under faults it means the destination (or the
-			// queue's own node) is cut off. Count-drop.
-			e.dequeue(u)
-			e.metrics.Dropped++
-			e.metrics.Unroutable++
-			continue
-		}
-		e.requests = append(e.requests, txRequest{node: u, coupler: c, nextHop: hop})
-		e.byCoupler[c] = append(e.byCoupler[c], len(e.requests)-1)
+	if e.cfg.Wavelengths <= 1 {
+		e.stepSingleWavelength()
+	} else {
+		e.stepMultiWavelength()
 	}
 
-	// Phase 2: per-coupler arbitration — round-robin over node ids so no
-	// node starves. With W wavelengths each coupler grants up to W senders.
-	w := e.cfg.wavelengths()
-	for c := 0; c < e.topo.Couplers(); c++ {
-		idxs := e.byCoupler[c]
-		if len(idxs) == 0 {
-			continue
-		}
-		// Sort candidates by round-robin key and take the first W.
-		sortByRRKey(idxs, e.requests, e.rr[c], e.topo.Nodes())
-		take := w
-		if take > len(idxs) {
-			take = len(idxs)
-		}
-		for _, i := range idxs[:take] {
-			e.granted[c] = append(e.granted[c], e.requests[i])
-			e.winners[e.requests[i].node] = true
-		}
-		e.rr[c] = (e.requests[idxs[take-1]].node + 1) % e.topo.Nodes()
-	}
-
-	// Phase 3 (deflection only): losers grab any coupler that is still
-	// free on their node; the message is deflected toward the head node
-	// closest to its destination.
-	if e.cfg.Deflection {
-		for _, r := range e.requests {
-			if e.winners[r.node] {
-				continue
-			}
-			for _, c := range e.topo.OutCouplers(r.node) {
-				if len(e.granted[c]) >= w {
-					continue
-				}
-				// Deflect toward the best head on this coupler.
-				msg := e.queues[r.node].front()
-				bestHop, bestDist := -1, 1<<30
-				for _, h := range e.topo.Heads(c) {
-					if d := e.topo.Distance(h, msg.Dst); d >= 0 && d < bestDist {
-						bestDist = d
-						bestHop = h
-					}
-				}
-				if bestHop < 0 {
-					continue
-				}
-				e.granted[c] = append(e.granted[c], txRequest{node: r.node, coupler: c, nextHop: bestHop})
-				e.winners[r.node] = true
-				e.metrics.Deflections++
-				break
-			}
-		}
-	}
-
-	// Phase 4: transmissions. Winners pop their head-of-line message; it is
-	// delivered if the destination hears the coupler, else relayed to the
-	// chosen next hop.
-	for c := 0; c < e.topo.Couplers(); c++ {
-		for _, r := range e.granted[c] {
-			msg := e.dequeue(r.node)
-			msg.Hops++
-			delivered := false
-			for _, h := range e.topo.Heads(r.coupler) {
-				if h == msg.Dst {
-					delivered = true
-					break
-				}
-			}
-			if delivered {
-				e.metrics.Delivered++
-				e.metrics.TotalLatency += e.slot + 1 - msg.Born
-				e.metrics.TotalHops += msg.Hops
-				if e.OnDeliver != nil {
-					e.OnDeliver(msg, e.slot+1)
-				}
-			} else {
-				e.enqueue(r.nextHop, msg)
-			}
-		}
-	}
-	// Reset the winners set for the next slot; only nodes that requested
-	// this slot can be marked, so this touches exactly the dirty entries.
-	for _, r := range e.requests {
-		e.winners[r.node] = false
-	}
 	e.slot++
 	if e.recovering && e.backlog <= e.recoverBaseline {
 		e.metrics.RecoverySlots += e.slot - e.recoverStart
@@ -331,31 +400,364 @@ func (e *Engine) Step() {
 	}
 }
 
+// stepSingleWavelength is the W = 1 hot path. Arbitration is an argmin
+// over each coupler's candidates by round-robin key, so Phase 1 folds it
+// in incrementally: each coupler keeps one tentative grant (grantSlot,
+// gated by the touched bitmap), and no request or candidate list is built.
+func (e *Engine) stepSingleWavelength() {
+	// Phase 1 + 2a: requests with incremental per-coupler arbitration. The
+	// active list replaces the full O(N) queue scan; its order is
+	// irrelevant because the argmin and every later phase order their own
+	// work.
+	n32 := int32(e.n)
+	defl := e.cfg.Deflection
+	for i := 0; i < len(e.active); {
+		u := int(e.active[i])
+		r := e.headReq[u]
+		if r.coupler < 0 {
+			// Unroutable: on the static, strongly connected topologies this
+			// cannot happen; under faults it means the destination (or the
+			// queue's own node) is cut off. Count-drop. The drop may
+			// swap-remove u from the active slot we are standing on, in
+			// which case the moved node is processed at the same index.
+			e.dropFront(u)
+			e.metrics.Dropped++
+			e.metrics.Unroutable++
+			if e.activePos[u] >= 0 {
+				i++
+			}
+			continue
+		}
+		c := r.coupler
+		// Round-robin key of node u on coupler c: (u - cursor) mod n via a
+		// conditional add (both operands are in [0, n)).
+		key := int32(u) - e.rr[c]
+		if key < 0 {
+			key += n32
+		}
+		wIdx, bit := c>>6, uint64(1)<<(c&63)
+		if e.touched[wIdx]&bit == 0 {
+			e.touched[wIdx] |= bit
+			e.bestKey[c] = key
+			e.grantSlot[c] = r
+		} else if key < e.bestKey[c] {
+			e.bestKey[c] = key
+			e.grantSlot[c] = r
+		}
+		if defl {
+			e.reqMask[u>>6] |= 1 << (u & 63)
+		}
+		i++
+	}
+
+	// Phase 2b + 3 (deflection only). Without deflection the winners set is
+	// never read — every arbitration outcome already sits in grantSlot —
+	// so both the winner-marking scan and its cleanup are skipped entirely
+	// and the round-robin cursors advance in Phase 4 instead (they are not
+	// read again until the next slot).
+	if defl {
+		// Finalize the winners and advance the round-robin cursors (the
+		// cursors must stay fixed while keys are being computed above, and
+		// only request-carrying couplers move them — deflection grants
+		// below do not).
+		for wi, word := range e.touched {
+			for word != 0 {
+				c := wi<<6 + bits.TrailingZeros64(word)
+				word &= word - 1
+				r := e.grantSlot[c]
+				e.winners[r.node] = true
+				e.rr[c] = rrNext(r.node, n32)
+			}
+		}
+
+		// Losers grab any coupler of their node that carries no grant yet;
+		// the message is deflected toward the head node closest to its
+		// destination. Losers act in ascending node id order — the order
+		// the legacy full-scan engine implied — which the requested-node
+		// bitmap scan yields directly; its words are consumed (zeroed) as
+		// the scan goes.
+		for wi := range e.reqMask {
+			word := e.reqMask[wi]
+			if word == 0 {
+				continue
+			}
+			e.reqMask[wi] = 0
+			for word != 0 {
+				u := wi<<6 + bits.TrailingZeros64(word)
+				word &= word - 1
+				if e.winners[u] {
+					continue
+				}
+				msg := e.queues[u].front()
+				ob, oc := e.outStart[u], e.outCount[u]
+				for oi := ob; oi < ob+oc; oi++ {
+					c := int(e.outList[oi])
+					wIdx, bit := c>>6, uint64(1)<<(c&63)
+					if e.touched[wIdx]&bit != 0 {
+						continue // already carries this slot's one grant
+					}
+					bestHop, delivers := e.deflectTarget(c, int(msg.dst))
+					if bestHop < 0 {
+						continue
+					}
+					e.touched[wIdx] |= bit
+					e.grantSlot[c] = txRequest{node: int32(u), coupler: int32(c), nextHop: bestHop, delivers: delivers}
+					e.winners[u] = true
+					e.metrics.Deflections++
+					break
+				}
+			}
+		}
+	}
+
+	// Phase 4: transmissions, in ascending coupler order — the bitmap word
+	// scan yields exactly that order, so deliveries and relays interleave
+	// as a full coupler scan would. The precompiled delivers-here bit
+	// replaces the per-transmission head-set scan. With deflection the
+	// winners set is cleared as its grants are consumed; without it the
+	// round-robin cursors advance here (every touched coupler carries an
+	// arbitration grant in that case).
+	for wi := range e.touched {
+		word := e.touched[wi]
+		if word == 0 {
+			continue
+		}
+		e.touched[wi] = 0
+		for word != 0 {
+			c := wi<<6 + bits.TrailingZeros64(word)
+			word &= word - 1
+			r := e.grantSlot[c]
+			if defl {
+				e.winners[r.node] = false
+			} else {
+				e.rr[c] = rrNext(r.node, n32)
+			}
+			e.transmit(r)
+		}
+	}
+}
+
+// stepMultiWavelength is the general W > 1 path: each touched coupler
+// collects its full candidate list, sorts it by precomputed round-robin
+// keys and grants the first W senders.
+func (e *Engine) stepMultiWavelength() {
+	// Phase 1: each node with a queued message requests the coupler its
+	// precompiled route entry names for the head-of-line message.
+	e.requests = e.requests[:0]
+	n32 := int32(e.n)
+	defl := e.cfg.Deflection
+	for i := 0; i < len(e.active); {
+		u := int(e.active[i])
+		r := e.headReq[u]
+		if r.coupler < 0 {
+			e.dropFront(u)
+			e.metrics.Dropped++
+			e.metrics.Unroutable++
+			if e.activePos[u] >= 0 {
+				i++
+			}
+			continue
+		}
+		c := r.coupler
+		e.requests = append(e.requests, r)
+		e.touched[c>>6] |= 1 << (c & 63)
+		if defl {
+			e.reqMask[u>>6] |= 1 << (u & 63)
+		}
+		e.byCoupler[c] = append(e.byCoupler[c], int32(len(e.requests)-1))
+		i++
+	}
+
+	// Phase 2: per-coupler arbitration — round-robin over node ids so no
+	// node starves; each coupler grants up to W senders. Only couplers
+	// that actually saw a request are visited; per-coupler outcomes are
+	// independent, so the visit order does not matter.
+	w := e.cfg.wavelengths()
+	for wi, word := range e.touched {
+		for word != 0 {
+			c := wi<<6 + bits.TrailingZeros64(word)
+			word &= word - 1
+			idxs := e.byCoupler[c]
+			if len(idxs) == 1 {
+				r := e.requests[idxs[0]]
+				e.granted[c] = append(e.granted[c], r)
+				e.winners[r.node] = true
+				e.rr[c] = rrNext(r.node, n32)
+				continue
+			}
+			cursor := e.rr[c]
+			e.keys = e.keys[:0]
+			for _, ri := range idxs {
+				k := e.requests[ri].node - cursor
+				if k < 0 {
+					k += n32
+				}
+				e.keys = append(e.keys, int(k))
+			}
+			sortByRRKey(idxs, e.keys)
+			take := w
+			if take > len(idxs) {
+				take = len(idxs)
+			}
+			for _, ri := range idxs[:take] {
+				r := e.requests[ri]
+				e.granted[c] = append(e.granted[c], r)
+				e.winners[r.node] = true
+			}
+			e.rr[c] = rrNext(e.requests[idxs[take-1]].node, n32)
+		}
+	}
+
+	// Phase 3 (deflection only): as in the single-wavelength path, but a
+	// coupler is free while it holds fewer than W grants.
+	if defl {
+		for wi := range e.reqMask {
+			word := e.reqMask[wi]
+			if word == 0 {
+				continue
+			}
+			e.reqMask[wi] = 0
+			for word != 0 {
+				u := wi<<6 + bits.TrailingZeros64(word)
+				word &= word - 1
+				if e.winners[u] {
+					continue
+				}
+				msg := e.queues[u].front()
+				ob, oc := e.outStart[u], e.outCount[u]
+				for oi := ob; oi < ob+oc; oi++ {
+					c := int(e.outList[oi])
+					if len(e.granted[c]) >= w {
+						continue
+					}
+					bestHop, delivers := e.deflectTarget(c, int(msg.dst))
+					if bestHop < 0 {
+						continue
+					}
+					e.touched[c>>6] |= 1 << (c & 63)
+					e.granted[c] = append(e.granted[c], txRequest{
+						node: int32(u), coupler: int32(c), nextHop: bestHop, delivers: delivers,
+					})
+					e.winners[u] = true
+					e.metrics.Deflections++
+					break
+				}
+			}
+		}
+	}
+
+	// Phase 4: transmissions in ascending coupler order; each coupler's
+	// candidate and grant scratch is cleared as it is consumed.
+	for wi := range e.touched {
+		word := e.touched[wi]
+		if word == 0 {
+			continue
+		}
+		e.touched[wi] = 0
+		for word != 0 {
+			c := wi<<6 + bits.TrailingZeros64(word)
+			word &= word - 1
+			for _, r := range e.granted[c] {
+				e.winners[r.node] = false
+				e.transmit(r)
+			}
+			e.byCoupler[c] = e.byCoupler[c][:0]
+			e.granted[c] = e.granted[c][:0]
+		}
+	}
+}
+
+// deflectTarget scans coupler c's compiled head set for the live head
+// closest to dst (the deflection target), reporting whether dst itself
+// hears the coupler. bestHop is -1 when no head has a live path to dst.
+// Shared by both Step paths so the deflection tie-breaking, the delivers
+// check and the d >= 0 liveness guard cannot drift apart.
+func (e *Engine) deflectTarget(c, dst int) (bestHop int32, delivers bool) {
+	bestHop, bestDist := int32(-1), 1<<30
+	hb, hc := e.headStart[c], e.headCount[c]
+	for hi := hb; hi < hb+hc; hi++ {
+		h := e.headList[hi]
+		if int(h) == dst {
+			delivers = true
+		}
+		if d := e.dist[h][dst]; d >= 0 && d < bestDist {
+			bestDist = d
+			bestHop = h
+		}
+	}
+	return bestHop, delivers
+}
+
+// transmit executes one granted transmission: the sender pops its
+// head-of-line message, which is delivered if the destination hears the
+// coupler (the precompiled delivers bit) and relayed to the chosen next
+// hop otherwise.
+func (e *Engine) transmit(r txRequest) {
+	src := int(r.node)
+	msg := e.queues[src].front()
+	if r.delivers {
+		// Read the delivered message in place; no copy leaves the ring.
+		hops := int(msg.hops) + 1
+		e.metrics.Delivered++
+		e.metrics.TotalLatency += e.slot + 1 - int(msg.born)
+		e.metrics.TotalHops += hops
+		if e.OnDeliver != nil {
+			e.OnDeliver(Message{
+				ID: int(msg.id), Src: int(msg.src), Dst: int(msg.dst),
+				Born: int(msg.born), Hops: hops,
+			}, e.slot+1)
+		}
+		e.dropFront(src)
+	} else {
+		// One ring-to-ring copy; dropping the source slot first mirrors
+		// the legacy dequeue-then-enqueue order (it matters when a
+		// deflection relays a message back onto its own bounded queue).
+		m := *msg
+		m.hops++
+		e.dropFront(src)
+		e.enqueue(int(r.nextHop), m)
+	}
+}
+
 // applyTopologyChange reacts to a fault/repair batch: queues at nodes that
-// just failed are purged (LostToFaults), and surviving queued messages
-// whose routing decision changed to another live path are counted as
-// Reroutes — with table routing they silently follow the new path at their
-// next transmission (messages left without any route are not reroutes;
-// they surface as Unroutable when they reach the head of their queue).
+// just failed are purged (LostToFaults), the compiled structure arrays are
+// re-synced (borrowed route/distance tables were already repaired in place
+// by the topology, row by row), and surviving queued messages whose
+// routing decision changed to another live path are counted as Reroutes —
+// with table routing they silently follow the new path at their next
+// transmission (messages left without any route are not reroutes; they
+// surface as Unroutable when they reach the head of their queue).
 func (e *Engine) applyTopologyChange(ch TopologyChange) {
+	e.dynDirty = true
 	disrupted := false
 	for _, u := range ch.FailedNodes {
 		for e.queues[u].len() > 0 {
-			e.dequeue(u)
+			e.dropFront(u)
 			e.metrics.Dropped++
 			e.metrics.LostToFaults++
 			disrupted = true
 		}
 	}
+	e.recompileDynamic()
+	// Refresh the precompiled head-of-line requests: any active head may
+	// have been rerouted (or cut off) by the event.
+	for _, ui := range e.active {
+		u := int(ui)
+		e.computeHeadReq(u, e.queues[u].front().dst)
+	}
 	if ch.EntryChanged != nil {
-		for u := 0; u < e.topo.Nodes(); u++ {
-			for i := 0; i < e.queues[u].len(); i++ {
-				dst := e.queues[u].at(i).Dst
+		// Only active nodes hold queued messages; order does not matter for
+		// counting.
+		for _, ui := range e.active {
+			u := int(ui)
+			q := &e.queues[u]
+			for i := 0; i < q.len(); i++ {
+				dst := int(q.at(i).dst)
 				if !ch.EntryChanged(u, dst) {
 					continue
 				}
 				disrupted = true
-				if c, _ := e.topo.NextCoupler(u, dst); c >= 0 {
+				if e.route[u*e.n+dst].c >= 0 {
 					e.metrics.Reroutes++
 				}
 			}
@@ -376,39 +778,89 @@ func (e *Engine) applyTopologyChange(ch TopologyChange) {
 }
 
 // txRequest is one node's wish to drive one coupler toward one next hop.
+// delivers carries the precompiled delivers-here bit so Phase 4 never
+// scans a head set.
 type txRequest struct {
-	node    int
-	coupler int
-	nextHop int
+	node     int32
+	coupler  int32
+	nextHop  int32
+	delivers bool
 }
 
-// sortByRRKey orders request indices by round-robin distance of their node
-// id from the cursor (insertion sort; candidate lists are small).
-func sortByRRKey(idxs []int, requests []txRequest, cursor, n int) {
-	key := func(i int) int { return (requests[i].node - cursor + n) % n }
+// rrNext advances a round-robin cursor past the granted node: (node+1)
+// mod n without the divide (node is always in [0, n)).
+func rrNext(node, n int32) int32 {
+	if node+1 == n {
+		return 0
+	}
+	return node + 1
+}
+
+// sortByRRKey orders request indices by their precomputed round-robin keys
+// (distance of the node id from the coupler's cursor). Keys are computed
+// once per candidate by the caller — not recomputed inside every
+// comparison — and are permuted in lockstep. Insertion sort; candidate
+// lists are small.
+func sortByRRKey(idxs []int32, keys []int) {
 	for a := 1; a < len(idxs); a++ {
-		for b := a; b > 0 && key(idxs[b]) < key(idxs[b-1]); b-- {
+		for b := a; b > 0 && keys[b] < keys[b-1]; b-- {
 			idxs[b], idxs[b-1] = idxs[b-1], idxs[b]
+			keys[b], keys[b-1] = keys[b-1], keys[b]
 		}
 	}
 }
 
-// Run executes a full simulation: `slots` slots of traffic generation plus
-// up to `drain` extra slots to let queues empty, returning the metrics.
-// The injection scratch is reused across slots, so the whole inner loop is
-// allocation-free in steady state (see BenchmarkStepAllocFree).
-func Run(topo Topology, traffic Traffic, slots, drain int, cfg Config) Metrics {
-	e := NewEngine(topo, cfg)
-	var buf []Injection
-	for s := 0; s < slots; s++ {
-		buf = traffic.Generate(buf[:0], s, topo.Nodes(), e.rng)
-		for _, inj := range buf {
-			e.Inject(inj.Src, inj.Dst)
+// Run resets the engine with cfg and executes a full scenario on it:
+// `slots` slots of traffic generation plus up to `drain` extra slots to
+// let queues empty, returning the metrics. All scratch — including the
+// traffic-generation buffer — lives on the engine, so a warmed engine runs
+// whole scenarios without allocating; results are bit-for-bit identical to
+// sim.Run on a fresh engine.
+func (e *Engine) Run(traffic Traffic, slots, drain int, cfg Config) Metrics {
+	e.Reset(cfg)
+	e.rngVirgin = false // the generation loop draws from the RNG
+	if ur, ok := traffic.(UniformRater); ok {
+		e.runUniform(ur.UniformRate(), slots)
+	} else {
+		for s := 0; s < slots; s++ {
+			e.injBuf = traffic.Generate(e.injBuf[:0], s, e.n, e.rng)
+			for _, inj := range e.injBuf {
+				e.Inject(inj.Src, inj.Dst)
+			}
+			e.Step()
 		}
-		e.Step()
 	}
-	for s := 0; s < drain && e.Metrics().Backlog > 0; s++ {
+	for s := 0; s < drain && e.backlog > 0; s++ {
 		e.Step()
 	}
 	return e.Metrics()
+}
+
+// runUniform is Run's fused generation loop for uniform Bernoulli traffic
+// (UniformRater): the RNG consumption sequence is exactly
+// UniformTraffic.Generate followed by Inject calls — so runs are
+// bit-for-bit identical — without materializing the Injection buffer.
+func (e *Engine) runUniform(rate float64, slots int) {
+	n, rng := e.n, e.rng
+	for s := 0; s < slots; s++ {
+		for u := 0; u < n; u++ {
+			if rng.Float64() < rate {
+				dst := rng.Intn(n - 1)
+				if dst >= u {
+					dst++ // skip self, as the uniform model does
+				}
+				e.metrics.Injected++
+				e.enqueue(u, qmsg{id: int32(e.nextID), src: int32(u), dst: int32(dst), born: int32(e.slot)})
+				e.nextID++
+			}
+		}
+		e.Step()
+	}
+}
+
+// Run executes a full simulation over a freshly compiled engine. Callers
+// running many scenarios over one topology should construct the engine
+// once and call Engine.Run per scenario instead (see internal/sweep).
+func Run(topo Topology, traffic Traffic, slots, drain int, cfg Config) Metrics {
+	return NewEngine(topo, cfg).Run(traffic, slots, drain, cfg)
 }

@@ -118,18 +118,23 @@ func TestNoLossUnboundedWavelengths(t *testing.T) {
 
 func TestSortByRRKeyRotatesWithCursor(t *testing.T) {
 	// Requests from nodes 0..4; with cursor c, order must be
-	// c, c+1, ... wrapping mod n.
+	// c, c+1, ... wrapping mod n. Keys are precomputed once per candidate,
+	// exactly as Step's arbitration phase does.
 	n := 5
 	requests := make([]txRequest, n)
 	for i := range requests {
-		requests[i] = txRequest{node: i}
+		requests[i] = txRequest{node: int32(i)}
 	}
 	for cursor := 0; cursor < n; cursor++ {
-		idxs := []int{0, 1, 2, 3, 4}
-		sortByRRKey(idxs, requests, cursor, n)
+		idxs := []int32{0, 1, 2, 3, 4}
+		keys := make([]int, 0, n)
+		for _, i := range idxs {
+			keys = append(keys, (int(requests[i].node)-cursor+n)%n)
+		}
+		sortByRRKey(idxs, keys)
 		for pos, i := range idxs {
 			want := (cursor + pos) % n
-			if requests[i].node != want {
+			if int(requests[i].node) != want {
 				t.Fatalf("cursor %d: position %d holds node %d, want %d",
 					cursor, pos, requests[i].node, want)
 			}
@@ -202,14 +207,14 @@ func TestRingFIFOOrderAcrossWraparound(t *testing.T) {
 	next, expect := 0, 0
 	push := func(k int) {
 		for i := 0; i < k; i++ {
-			r.push(Message{ID: next})
+			r.push(qmsg{id: int32(next)})
 			next++
 		}
 	}
 	pop := func(k int) {
 		for i := 0; i < k; i++ {
-			if m := r.pop(); m.ID != expect {
-				t.Fatalf("popped ID %d, want %d", m.ID, expect)
+			if m := r.pop(); int(m.id) != expect {
+				t.Fatalf("popped ID %d, want %d", m.id, expect)
 			}
 			expect++
 		}
@@ -230,19 +235,19 @@ func TestRingGrowPreservesOrder(t *testing.T) {
 	// Interleave pushes and pops so head is mid-buffer when growth hits.
 	id := 0
 	for i := 0; i < 3; i++ {
-		r.push(Message{ID: id})
+		r.push(qmsg{id: int32(id)})
 		id++
 	}
 	r.pop()
 	r.pop()
 	for i := 0; i < 20; i++ { // repeated growth with head offset
-		r.push(Message{ID: id})
+		r.push(qmsg{id: int32(id)})
 		id++
 	}
 	want := 2
 	for r.len() > 0 {
-		if m := r.pop(); m.ID != want {
-			t.Fatalf("popped %d, want %d", m.ID, want)
+		if m := r.pop(); int(m.id) != want {
+			t.Fatalf("popped %d, want %d", m.id, want)
 		}
 		want++
 	}

@@ -1,24 +1,41 @@
 package sim
 
+// qmsg is the in-queue message representation: the fields of Message
+// packed into int32s, so queue pushes, pops and ring growth copy half the
+// bytes. The public Message form is reconstructed only at delivery
+// (OnDeliver) time. Counters and slots beyond 2^31 are outside the
+// engine's operating envelope.
+type qmsg struct {
+	id   int32
+	src  int32
+	dst  int32
+	born int32 // injection slot
+	hops int32
+}
+
 // ring is a growable FIFO queue of messages backed by a circular buffer.
 // Unlike the naive `q = q[1:]` slice shift, popping never abandons prefix
 // capacity, so sustained traffic reaches a steady state where no step
 // allocates: the buffer grows (amortized doubling) only while the queue's
 // high-water mark is still rising.
 type ring struct {
-	buf  []Message
+	buf  []qmsg
 	head int
 	n    int
 }
 
 func (r *ring) len() int { return r.n }
 
+// reset empties the queue without releasing its buffer, so a reused engine
+// keeps every ring's high-water capacity across scenarios.
+func (r *ring) reset() { r.head, r.n = 0, 0 }
+
 // front returns a pointer to the oldest message. Only valid when len() > 0.
-func (r *ring) front() *Message { return &r.buf[r.head] }
+func (r *ring) front() *qmsg { return &r.buf[r.head] }
 
 // at returns a pointer to the i-th queued message (0 = oldest). Only valid
 // for 0 <= i < len().
-func (r *ring) at(i int) *Message {
+func (r *ring) at(i int) *qmsg {
 	j := r.head + i
 	if j >= len(r.buf) {
 		j -= len(r.buf)
@@ -26,7 +43,7 @@ func (r *ring) at(i int) *Message {
 	return &r.buf[j]
 }
 
-func (r *ring) push(m Message) {
+func (r *ring) push(m qmsg) {
 	if r.n == len(r.buf) {
 		r.grow()
 	}
@@ -38,7 +55,7 @@ func (r *ring) push(m Message) {
 	r.n++
 }
 
-func (r *ring) pop() Message {
+func (r *ring) pop() qmsg {
 	m := r.buf[r.head]
 	r.head++
 	if r.head == len(r.buf) {
@@ -53,7 +70,7 @@ func (r *ring) grow() {
 	if capNew < 4 {
 		capNew = 4
 	}
-	buf := make([]Message, capNew)
+	buf := make([]qmsg, capNew)
 	for i := 0; i < r.n; i++ {
 		j := r.head + i
 		if j >= len(r.buf) {

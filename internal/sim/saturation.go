@@ -20,8 +20,13 @@ func UniformAtRate(rate float64) Traffic { return UniformTraffic{Rate: rate} }
 // given (topology, traffic family, slots, fraction, config), so concurrent
 // callers (e.g. a sweep worker pool) reproduce single-run results exactly.
 func SaturationSearchTraffic(topo Topology, traffic func(rate float64) Traffic, slots int, sustainFraction float64, cfg Config) float64 {
+	// One engine serves every probe of the binary search: Engine.Run resets
+	// it per rate, so the topology is compiled and the queues allocated
+	// once for the whole search instead of once per probe, with results
+	// bit-for-bit identical to independent sim.Run calls.
+	e := NewEngine(topo, cfg)
 	sustains := func(rate float64) bool {
-		m := Run(topo, traffic(rate), slots, slots, cfg)
+		m := e.Run(traffic(rate), slots, slots, cfg)
 		if m.Injected == 0 {
 			return true
 		}

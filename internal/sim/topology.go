@@ -36,40 +36,38 @@ type Topology interface {
 	Distance(u, dst int) int
 }
 
-// routeEntry is a precomputed routing decision: the coupler to request and
-// the preferred next-hop node. coupler < 0 means "no route" (or "already
-// there" when nextHop equals the destination).
-type routeEntry struct {
-	coupler int32
-	nextHop int32
-}
-
 // buildRouteTable precomputes route[u][dst] for every ordered pair using
 // the provided per-pair oracle, turning NextCoupler into an O(1) lookup on
 // the simulation hot path. The oracle is only consulted once per pair, at
-// construction time.
-func buildRouteTable(n int, next func(u, dst int) (int, int)) [][]routeEntry {
-	route := make([][]routeEntry, n)
-	flat := make([]routeEntry, n*n) // one backing array, n row views
+// construction time. It returns both the row views and the flat backing
+// array, which RouteTable hands to the engine as its compiled route table.
+// The delivers-here bit is packed from nextHop == dst: the scan oracles
+// pick the strictly closest head, and only the destination itself is at
+// distance 0, so the chosen next hop is dst exactly when dst hears the
+// chosen coupler.
+func buildRouteTable(n int, next func(u, dst int) (int, int)) ([][]RouteEntry, []RouteEntry) {
+	route := make([][]RouteEntry, n)
+	flat := make([]RouteEntry, n*n) // one backing array, n row views
 	for u := 0; u < n; u++ {
 		row := flat[u*n : (u+1)*n : (u+1)*n]
 		for dst := 0; dst < n; dst++ {
 			c, hop := next(u, dst)
-			row[dst] = routeEntry{coupler: int32(c), nextHop: int32(hop)}
+			row[dst] = MakeRouteEntry(c, hop, c >= 0 && hop == dst)
 		}
 		route[u] = row
 	}
-	return route
+	return route, flat
 }
 
 // stackTopology adapts a stack-graph (multi-OPS network) with precomputed
 // shortest-path next-hop and routing tables.
 type stackTopology struct {
-	sg    *hypergraph.StackGraph
-	out   [][]int
-	dist  [][]int // dist[u][v] on the underlying digraph
-	route [][]routeEntry
-	und   *digraph.Digraph
+	sg        *hypergraph.StackGraph
+	out       [][]int
+	dist      [][]int // dist[u][v] on the underlying digraph
+	route     [][]RouteEntry
+	routeFlat []RouteEntry // backing array of route, lent to the engine
+	und       *digraph.Digraph
 }
 
 // NewStackTopology wraps a stack-graph for simulation. The underlying
@@ -88,7 +86,7 @@ func NewStackTopology(sg *hypergraph.StackGraph) Topology {
 	for u := 0; u < n; u++ {
 		st.dist[u] = st.und.BFS(u)
 	}
-	st.route = buildRouteTable(n, st.scanNextCoupler)
+	st.route, st.routeFlat = buildRouteTable(n, st.scanNextCoupler)
 	return st
 }
 
@@ -99,9 +97,16 @@ func (st *stackTopology) Heads(c int) []int       { return st.sg.Hyperarc(c).Hea
 
 func (st *stackTopology) Distance(u, dst int) int { return st.dist[u][dst] }
 
+// RouteTable lends the engine the flat route table (RouteTabled).
+func (st *stackTopology) RouteTable() []RouteEntry { return st.routeFlat }
+
+// DistanceRows lends the engine the per-source distance rows
+// (DistanceRowed).
+func (st *stackTopology) DistanceRows() [][]int { return st.dist }
+
 func (st *stackTopology) NextCoupler(u, dst int) (int, int) {
 	r := st.route[u][dst]
-	return int(r.coupler), int(r.nextHop)
+	return r.Coupler(), r.NextHop()
 }
 
 // scanNextCoupler is the construction-time routing oracle: pick the coupler
@@ -129,11 +134,12 @@ func (st *stackTopology) scanNextCoupler(u, dst int) (int, int) {
 // pointToPoint adapts a digraph as a single-OPS-per-arc network: every arc
 // is its own degree-1 coupler.
 type pointToPoint struct {
-	g     *digraph.Digraph
-	out   [][]int // coupler ids per node
-	head  []int   // head node per coupler
-	dist  [][]int
-	route [][]routeEntry
+	g         *digraph.Digraph
+	out       [][]int // coupler ids per node
+	head      []int   // head node per coupler
+	dist      [][]int
+	route     [][]RouteEntry
+	routeFlat []RouteEntry
 }
 
 // NewPointToPointTopology wraps a digraph where each arc is a dedicated
@@ -151,7 +157,7 @@ func NewPointToPointTopology(g *digraph.Digraph) Topology {
 	for u := 0; u < g.N(); u++ {
 		pt.dist[u] = g.BFS(u)
 	}
-	pt.route = buildRouteTable(g.N(), pt.scanNextCoupler)
+	pt.route, pt.routeFlat = buildRouteTable(g.N(), pt.scanNextCoupler)
 	return pt
 }
 
@@ -161,9 +167,16 @@ func (pt *pointToPoint) OutCouplers(u int) []int { return pt.out[u] }
 func (pt *pointToPoint) Heads(c int) []int       { return pt.head[c : c+1] }
 func (pt *pointToPoint) Distance(u, dst int) int { return pt.dist[u][dst] }
 
+// RouteTable lends the engine the flat route table (RouteTabled).
+func (pt *pointToPoint) RouteTable() []RouteEntry { return pt.routeFlat }
+
+// DistanceRows lends the engine the per-source distance rows
+// (DistanceRowed).
+func (pt *pointToPoint) DistanceRows() [][]int { return pt.dist }
+
 func (pt *pointToPoint) NextCoupler(u, dst int) (int, int) {
 	r := pt.route[u][dst]
-	return int(r.coupler), int(r.nextHop)
+	return r.Coupler(), r.NextHop()
 }
 
 // scanNextCoupler is the construction-time oracle: first out-arc whose head

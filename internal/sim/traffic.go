@@ -22,6 +22,15 @@ type Traffic interface {
 	Generate(buf []Injection, slot, n int, rng *rand.Rand) []Injection
 }
 
+// UniformRater is implemented by traffic models whose Generate is exactly
+// the uniform Bernoulli model at some per-node rate (bit-for-bit the RNG
+// consumption of UniformTraffic). Engine.Run fuses such models into its
+// injection loop — same stream, no intermediate Injection buffer — so only
+// declare it on models with precisely that Generate behavior.
+type UniformRater interface {
+	UniformRate() float64
+}
+
 // UniformTraffic injects, per node per slot, a message with probability
 // Rate, to a destination chosen uniformly among the other nodes. This is
 // the canonical load model of the multihop lightwave literature.
@@ -29,6 +38,9 @@ type UniformTraffic struct {
 	// Rate is the per-node injection probability per slot, in [0,1].
 	Rate float64
 }
+
+// UniformRate implements UniformRater.
+func (t UniformTraffic) UniformRate() float64 { return t.Rate }
 
 // Generate implements Traffic.
 func (t UniformTraffic) Generate(buf []Injection, _, n int, rng *rand.Rand) []Injection {

@@ -9,9 +9,11 @@
 // goroutines, and aggregates the per-point metrics into saturation curves
 // with mean/stddev over seeds.
 //
-// Every scenario is executed by the same sim.Run the sequential code path
-// uses, with its own seeded RNG, so a sweep reproduces single-run numbers
-// bit-for-bit regardless of worker count or scheduling order.
+// Each worker reuses one compiled engine per topology across its scenarios
+// (sim.Engine.Reset re-arms queues, scratch and the compiled route
+// snapshot without reallocating), and every scenario gets its own seeded
+// RNG, so a sweep reproduces single-run sim.Run numbers bit-for-bit
+// regardless of worker count or scheduling order.
 package sweep
 
 import (
@@ -81,8 +83,16 @@ type Scenario struct {
 // topo returns the scenario's topology, wrapped in a private fault layer
 // when the fault axis is active. Wrapping per scenario keeps the shared
 // base read-only across workers; the FaultedTopology itself is mutable.
+// Runner.Run does not call this — its workers reuse one fault wrapper per
+// base via SetPlan — but it remains the single-scenario reference path.
 func (s Scenario) topo() sim.Topology {
 	return s.Fault.Wrap(s.Topology.Topo, s.Seed)
+}
+
+// Run executes the scenario standalone on a fresh engine. Runner.Run
+// produces identical metrics while reusing engines across scenarios.
+func (s Scenario) Run() sim.Metrics {
+	return sim.Run(s.topo(), s.traffic(), s.Slots, s.Drain, s.Config())
 }
 
 // Config translates the scenario into the engine configuration.
@@ -233,18 +243,72 @@ func (r Runner) workers() int {
 }
 
 // Run executes every scenario and returns results in input order. Each
-// scenario gets a private engine and RNG; topologies are shared read-only,
-// so the same sim.Topology value may appear in many scenarios.
+// worker keeps a private cache of compiled engines keyed by base topology
+// — Engine.Reset rewinds queues, scratch and the compiled route snapshot
+// between scenarios, and fault scenarios reuse one FaultedTopology per
+// base via SetPlan — so a 1000-point grid allocates its simulation state
+// once per (worker, topology), not once per scenario. Every scenario still
+// gets a private seeded RNG via Engine.Run, so results are bit-for-bit
+// identical to standalone Scenario.Run calls regardless of worker count or
+// scheduling order.
 func (r Runner) Run(points []Scenario) []Result {
 	results := make([]Result, len(points))
-	r.fan(len(points), func(i int) {
-		p := points[i]
-		results[i] = Result{
-			Scenario: p,
-			Metrics:  sim.Run(p.topo(), p.traffic(), p.Slots, p.Drain, p.Config()),
+	r.fanScoped(len(points), func() func(int) {
+		var cache engineCache
+		return func(i int) {
+			p := points[i]
+			results[i] = Result{Scenario: p, Metrics: cache.run(p)}
 		}
 	})
 	return results
+}
+
+// engineCache is one sweep worker's pool of reusable simulation state,
+// keyed by base-topology identity. Grids name only a handful of
+// topologies, so a linear scan beats hashing interface values.
+type engineCache struct {
+	entries []cacheEntry
+}
+
+// cacheEntry holds the reusable state for one base topology: an engine
+// compiled over the bare base for fault-free scenarios, and a fault
+// wrapper plus the engine compiled over it (borrowing its live route
+// table) for the fault axis.
+type cacheEntry struct {
+	base  sim.Topology
+	eng   *sim.Engine
+	ft    *faults.FaultedTopology
+	ftEng *sim.Engine
+}
+
+func (c *engineCache) entry(base sim.Topology) *cacheEntry {
+	for i := range c.entries {
+		if c.entries[i].base == base {
+			return &c.entries[i]
+		}
+	}
+	c.entries = append(c.entries, cacheEntry{base: base})
+	return &c.entries[len(c.entries)-1]
+}
+
+// run executes one scenario on the worker's cached state.
+func (c *engineCache) run(p Scenario) sim.Metrics {
+	ent := c.entry(p.Topology.Topo)
+	cfg := p.Config()
+	if p.Fault.IsZero() {
+		if ent.eng == nil {
+			ent.eng = sim.NewEngine(ent.base, cfg)
+		}
+		return ent.eng.Run(p.traffic(), p.Slots, p.Drain, cfg)
+	}
+	plan := p.Fault.Plan(ent.base, p.Seed)
+	if ent.ft == nil {
+		ent.ft = faults.Wrap(ent.base, plan)
+		ent.ftEng = sim.NewEngine(ent.ft, cfg)
+	} else {
+		ent.ft.SetPlan(plan)
+	}
+	return ent.ftEng.Run(p.traffic(), p.Slots, p.Drain, cfg)
 }
 
 // RunGrid expands the grid and runs it.
@@ -299,6 +363,13 @@ func (r Runner) Saturate(g Grid, slots int, sustainFraction float64, seed int64)
 
 // fan runs fn(0..n-1) across the worker pool and waits for completion.
 func (r Runner) fan(n int, fn func(i int)) {
+	r.fanScoped(n, func() func(int) { return fn })
+}
+
+// fanScoped runs fn(0..n-1) across the worker pool, building one private
+// state (e.g. an engine cache) per worker goroutine via newWorker, and
+// waits for completion.
+func (r Runner) fanScoped(n int, newWorker func() func(i int)) {
 	workers := r.workers()
 	if workers > n {
 		workers = n
@@ -312,6 +383,7 @@ func (r Runner) fan(n int, fn func(i int)) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			fn := newWorker()
 			for i := range idx {
 				fn(i)
 			}

@@ -330,3 +330,32 @@ func TestAggregateKeepsSameLabelFaultSpecsApart(t *testing.T) {
 		t.Fatalf("each spec should aggregate its 2 traffic seeds: %+v", curve)
 	}
 }
+
+// Engine reuse must be invisible: a single worker drives every scenario —
+// faulted and fault-free, across workloads and modes — through the same
+// cached engines (Reset between scenarios, SetPlan between fault plans),
+// and each result must still equal a standalone run on fresh state.
+func TestEngineReuseMatchesStandaloneScenarios(t *testing.T) {
+	grid := Grid{
+		Topologies: []Topology{skTopo(), popsTopo()},
+		Rates:      []float64{0.3},
+		Seeds:      []int64{1, 2},
+		Modes:      []Mode{StoreAndForward, Deflection},
+		Slots:      150,
+		Drain:      150,
+		Faults: []faults.Spec{
+			{},
+			{Kind: faults.KindNode, Count: 2, Slot: 20},
+			{Kind: faults.KindCoupler, Count: 1, Slot: 10, Seed: 4},
+		},
+	}
+	points := grid.Points()
+	results := Runner{Workers: 1}.Run(points)
+	for i, res := range results {
+		p := points[i]
+		if standalone := p.Run(); res.Metrics != standalone {
+			t.Fatalf("%s: reused-engine metrics diverge from standalone:\nsweep:      %v\nstandalone: %v",
+				p.Label(), res.Metrics, standalone)
+		}
+	}
+}

@@ -133,13 +133,14 @@ func replay(sg *hypergraph.StackGraph, sched *collective.Schedule, cfg sim.Confi
 		}
 		// Drain the round: every queued message is one hop from its
 		// destination, so each slot with backlog delivers at least one
-		// message; the cap only trips if that invariant breaks.
+		// message; the cap only trips if that invariant breaks. Backlog is
+		// the O(1) counter — no Metrics copy per drained slot.
 		maxSlots := 2*rr.Expected + 4
-		for s := 0; s < maxSlots && e.Metrics().Backlog > 0; s++ {
+		for s := 0; s < maxSlots && e.Backlog() > 0; s++ {
 			e.Step()
 			rr.Slots++
 		}
-		if e.Metrics().Backlog > 0 {
+		if e.Backlog() > 0 {
 			return nil, nil, fmt.Errorf("workload: round %d failed to drain within %d slots", i+1, maxSlots)
 		}
 		rr.Delivered = e.Metrics().Delivered - delivered

@@ -37,6 +37,10 @@ func (t Uniform) Generate(buf []sim.Injection, slot, n int, rng *rand.Rand) []si
 	return sim.UniformTraffic{Rate: t.Rate}.Generate(buf, slot, n, rng)
 }
 
+// UniformRate implements sim.UniformRater: Generate is exactly the uniform
+// model, so Engine.Run may fuse it into its injection loop.
+func (t Uniform) UniformRate() float64 { return t.Rate }
+
 // Transpose injects, with probability Rate per node per slot, a message to
 // the node's fixed OTIS transpose partner: node u sends to Perm[u], the
 // flat-output position the OTIS optics wire u's flat-input position to.

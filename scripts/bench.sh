@@ -1,0 +1,59 @@
+#!/usr/bin/env bash
+# Runs the engine performance benchmarks — the compiled-topology hot path,
+# its frozen legacy-engine baselines, and the large-N O(active) benchmark —
+# and emits BENCH_4.json with ns/op, B/op, allocs/op per benchmark plus the
+# same-machine speedup of the compiled engine over the legacy baseline.
+# This file starts the repo's recorded perf trajectory; later PRs append
+# BENCH_<n>.json snapshots.
+#
+# Usage: scripts/bench.sh            # default -benchtime=2s
+#        BENCHTIME=1x scripts/bench.sh   # CI smoke (pipeline check only;
+#                                        # 1x timings are not meaningful)
+#        OUT=path.json scripts/bench.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BENCHTIME="${BENCHTIME:-2s}"
+OUT="${OUT:-BENCH_4.json}"
+PATTERN='BenchmarkStepAllocFree|BenchmarkT7SimThroughput|BenchmarkT7LegacyEngine|BenchmarkSweepGrid$|BenchmarkSweepGridLegacyEngine|BenchmarkStepLargeN'
+
+raw=$(go test -run=NONE -bench="$PATTERN" -benchtime="$BENCHTIME" -benchmem .)
+printf '%s\n' "$raw"
+
+printf '%s\n' "$raw" | awk -v benchtime="$BENCHTIME" '
+/^Benchmark/ {
+	name = $1
+	sub(/-[0-9]+$/, "", name) # strip the -GOMAXPROCS suffix
+	ns = ""; bytes = "null"; allocs = "null"
+	for (i = 1; i <= NF; i++) {
+		if ($i == "ns/op") ns = $(i - 1)
+		else if ($i == "B/op") bytes = $(i - 1)
+		else if ($i == "allocs/op") allocs = $(i - 1)
+	}
+	if (ns == "") next
+	n++
+	names[n] = name; nss[n] = ns; bs[n] = bytes; as[n] = allocs
+	lookup[name] = ns
+}
+END {
+	printf "{\n"
+	printf "  \"pr\": 4,\n"
+	printf "  \"benchtime\": \"%s\",\n", benchtime
+	printf "  \"benchmarks\": [\n"
+	for (i = 1; i <= n; i++) {
+		printf "    {\"name\": \"%s\", \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}%s\n", \
+			names[i], nss[i], bs[i], as[i], (i < n ? "," : "")
+	}
+	printf "  ],\n"
+	t7n = lookup["BenchmarkT7SimThroughput"]
+	t7o = lookup["BenchmarkT7LegacyEngine"]
+	swn = lookup["BenchmarkSweepGrid"]
+	swo = lookup["BenchmarkSweepGridLegacyEngine"]
+	printf "  \"speedup_vs_legacy\": {"
+	if (t7n > 0 && t7o > 0) printf "\"BenchmarkT7SimThroughput\": %.2f", t7o / t7n
+	if (swn > 0 && swo > 0) printf ", \"BenchmarkSweepGrid\": %.2f", swo / swn
+	printf "}\n"
+	printf "}\n"
+}' > "$OUT"
+
+echo "wrote $OUT"
