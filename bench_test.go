@@ -6,6 +6,7 @@
 package otisnet
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -29,6 +30,7 @@ import (
 	"otisnet/internal/sim"
 	"otisnet/internal/stackkautz"
 	"otisnet/internal/sweep"
+	"otisnet/internal/sweepcache"
 	"otisnet/internal/workload"
 )
 
@@ -474,6 +476,38 @@ func BenchmarkSweepGridLegacyEngine(b *testing.B) {
 		if len(curve) != 6 {
 			b.Fatalf("expected 6 curve points, got %d", len(curve))
 		}
+	}
+}
+
+// BenchmarkSweepCachedGrid runs the identical 24-point grid against a
+// warmed content-addressed result cache (internal/sweepcache, the PR 5
+// service layer): every point is a cache hit, so the iteration cost is
+// pure orchestration — key hashing, lookups and aggregation — with zero
+// simulated slots. scripts/bench.sh pairs it with BenchmarkSweepGrid (the
+// cold, cacheless run of the same grid) as "warm_cache_speedup"; the
+// service-layer contract is >= 10x.
+func BenchmarkSweepCachedGrid(b *testing.B) {
+	grid := sweepGridT7()
+	points := grid.Points()
+	cache := sweepcache.NewMemory()
+	if _, err := (sweep.Runner{}).RunCached(context.Background(), points, cache, nil); err != nil {
+		b.Fatal(err)
+	}
+	coldMisses := cache.Stats().Misses
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		results, err := sweep.Runner{}.RunCached(context.Background(), points, cache, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		curve := sweep.Aggregate(results)
+		if len(curve) != 6 {
+			b.Fatalf("expected 6 curve points, got %d", len(curve))
+		}
+	}
+	b.StopTimer()
+	if st := cache.Stats(); st.Misses != coldMisses {
+		b.Fatalf("warm-cache grid computed %d points, want 0", st.Misses-coldMisses)
 	}
 }
 

@@ -35,31 +35,48 @@
 //	go run ./cmd/netsim -net sk -workload collective
 //	go run ./cmd/netsim -net pops -t 4 -g 4 -workload collective -collective gossip
 //	go run ./cmd/netsim -net all -sweep -workload uniform,transpose,hotspot,bursty
+//
+// Service layer (PR 5): sweeps cache and resume through a content-addressed
+// result store, split across processes, and serve over HTTP:
+//
+//	go run ./cmd/netsim -net all -sweep -seeds 5 -cachedir /tmp/otiscache
+//	go run ./cmd/netsim -net all -sweep -shards 3 -shard 0 > shard0.ndjson
+//	go run ./cmd/netsim -net all -sweep -mergeshards shard0.ndjson,shard1.ndjson,shard2.ndjson -format csv
+//	go run ./cmd/netsim serve -addr :8080 -cachedir /tmp/otiscache
 package main
 
 import (
+	"context"
 	"encoding/csv"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"log"
 	"math"
 	"math/rand"
+	"net/http"
 	"os"
 	"strconv"
 	"strings"
 	"time"
 
 	"otisnet/internal/collective"
+	"otisnet/internal/export"
 	"otisnet/internal/faults"
-	"otisnet/internal/kautz"
 	"otisnet/internal/pops"
 	"otisnet/internal/sim"
 	"otisnet/internal/stackkautz"
 	"otisnet/internal/sweep"
+	"otisnet/internal/sweepcache"
+	"otisnet/internal/sweepserver"
 	"otisnet/internal/workload"
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "serve" {
+		runServe(os.Args[2:])
+		return
+	}
 	var (
 		net      = flag.String("net", "sk", `topology: "sk", "pops", "stackii", "debruijn" or "all" (sweep only)`)
 		t        = flag.Int("t", 4, "POPS group size t")
@@ -95,6 +112,10 @@ func main() {
 		mttr      = flag.Float64("mttr", 0, "fault injection: mean slots to repair")
 
 		doSweep  = flag.Bool("sweep", false, "run a parallel scenario sweep instead of one run")
+		cacheDir = flag.String("cachedir", "", "sweep: content-addressed result cache directory (reuses completed points; makes interrupted grids resumable)")
+		shards   = flag.Int("shards", 1, "sweep: split the grid into this many deterministic shards")
+		shardIdx = flag.Int("shard", 0, "sweep: run only this shard (0-based; emits NDJSON shard rows for -mergeshards)")
+		mergeF   = flag.String("mergeshards", "", "sweep: merge comma-separated shard NDJSON files (from -shards runs of the same grid) instead of computing")
 		rateList = flag.String("rates", "0.05,0.1,0.2,0.4,0.8", "sweep: comma-separated offered loads")
 		faultSet = flag.String("faultset", "", "sweep: comma-separated fault counts (degradation curve axis)")
 		seeds    = flag.Int("seeds", 3, "sweep: seeds per grid point (1..seeds)")
@@ -111,6 +132,12 @@ func main() {
 	if explicit["traffic"] && explicit["workload"] {
 		fmt.Fprintln(os.Stderr, "netsim: -traffic (legacy) conflicts with -workload; use one")
 		os.Exit(2)
+	}
+	for _, f := range []string{"cachedir", "shards", "shard", "mergeshards"} {
+		if explicit[f] && !*doSweep {
+			fmt.Fprintf(os.Stderr, "netsim: -%s is a sweep flag; add -sweep\n", f)
+			os.Exit(2)
+		}
 	}
 
 	if *doSweep {
@@ -132,7 +159,31 @@ func main() {
 				os.Exit(2)
 			}
 		}
+		if *shards < 1 || *shardIdx < 0 || *shardIdx >= *shards {
+			fmt.Fprintf(os.Stderr, "netsim: bad shard selection %d/%d (want 0 <= shard < shards)\n", *shardIdx, *shards)
+			os.Exit(2)
+		}
+		if explicit["mergeshards"] && (explicit["shards"] || explicit["shard"]) {
+			fmt.Fprintln(os.Stderr, "netsim: -mergeshards consumes shard files; it conflicts with -shards/-shard")
+			os.Exit(2)
+		}
+		if explicit["mergeshards"] && explicit["cachedir"] {
+			// The merge path computes nothing, so there is nothing to journal;
+			// reject rather than silently ignore the cache request.
+			fmt.Fprintln(os.Stderr, "netsim: -mergeshards only reassembles shard files; it does not consult or fill a -cachedir (use -cachedir on the shard runs)")
+			os.Exit(2)
+		}
+		if *shards > 1 && (explicit["format"] || *raw) {
+			fmt.Fprintln(os.Stderr, "netsim: a shard run emits NDJSON shard rows only; format selection happens at -mergeshards time")
+			os.Exit(2)
+		}
 		if *saturate {
+			for _, f := range []string{"cachedir", "shards", "shard", "mergeshards"} {
+				if explicit[f] {
+					fmt.Fprintf(os.Stderr, "netsim: -%s does not apply to -sweep -saturate (the search is not a point grid)\n", f)
+					os.Exit(2)
+				}
+			}
 			// Saturation sweeps binary-search one seed per point; the rate
 			// and seed-count axes do not apply.
 			for _, f := range []string{"rates", "seeds"} {
@@ -171,6 +222,7 @@ func main() {
 			saturate: *saturate,
 			faultSet: *faultSet, faultKind: *faultKind, faultSlot: *faultSlot,
 			mtbf: *mtbf, mttr: *mttr,
+			cacheDir: *cacheDir, shards: *shards, shard: *shardIdx, merge: *mergeF,
 		}
 		if explicit["rate"] {
 			o.rates = fmt.Sprintf("%g", *rate)
@@ -412,30 +464,17 @@ func runCollective(net string, t, g, s, d, k int, kind string, seed int64) {
 
 // buildTopology constructs the selected network and returns its simulation
 // topology, a display name, and the group size (nodes per OPS group; 0 for
-// point-to-point baselines) that group-structured workloads consume.
+// point-to-point baselines) that group-structured workloads consume. It
+// delegates to sweep.TopoSpec — the same constructor the sweep service
+// uses for JSON-submitted grids — so CLI and server scenarios can never
+// drift apart.
 func buildTopology(net string, t, g, s, d, k, n int) (sim.Topology, string, int) {
-	switch net {
-	case "sk":
-		nw := stackkautz.New(s, d, k)
-		return sim.NewStackTopology(nw.StackGraph()),
-			fmt.Sprintf("SK(%d,%d,%d) N=%d couplers=%d", s, d, k, nw.N(), nw.Couplers()), s
-	case "stackii":
-		nw := stackkautz.NewII(s, d, n)
-		return sim.NewStackTopology(nw.StackGraph()),
-			fmt.Sprintf("stack-II(%d,%d,%d) N=%d couplers=%d", s, d, n, nw.N(), nw.Couplers()), s
-	case "pops":
-		nw := pops.New(t, g)
-		return sim.NewStackTopology(nw.StackGraph()),
-			fmt.Sprintf("POPS(%d,%d) N=%d couplers=%d", t, g, nw.N(), nw.Couplers()), t
-	case "debruijn":
-		b := kautz.NewDeBruijn(d, k)
-		return sim.NewPointToPointTopology(b.Digraph()),
-			fmt.Sprintf("deBruijn(%d,%d) N=%d links=%d", d, k, b.N(), b.Digraph().M()), 0
-	default:
-		fmt.Fprintf(os.Stderr, "netsim: unknown topology %q\n", net)
+	topo, err := sweep.TopoSpec{Net: net, T: t, G: g, S: s, D: d, K: k, N: n}.Build()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "netsim: %v\n", err)
 		os.Exit(2)
-		panic("unreachable")
 	}
+	return topo.Topo, topo.Name, topo.GroupSize
 }
 
 type sweepOpts struct {
@@ -460,6 +499,11 @@ type sweepOpts struct {
 	faultSet, faultKind string
 	faultSlot           int
 	mtbf, mttr          float64
+	// Service-layer options: result cache directory, shard selection and
+	// shard-file merge (see runSweep).
+	cacheDir      string
+	shards, shard int
+	merge         string
 }
 
 func runSweep(o sweepOpts) {
@@ -551,7 +595,66 @@ func runSweep(o sweepOpts) {
 		return
 	}
 
-	results := runner.RunGrid(grid)
+	points := grid.Points()
+
+	// Merge mode: the grid flags define the point list; the shard files
+	// supply the metrics. Output goes through the normal format paths, so a
+	// merged grid is byte-for-byte a single-process sweep.
+	if o.merge != "" {
+		var shardRows [][]sweep.ShardResult
+		for _, path := range strings.Split(o.merge, ",") {
+			if path = strings.TrimSpace(path); path != "" {
+				shardRows = append(shardRows, readShardFile(path))
+			}
+		}
+		results, err := sweep.MergeShardResults(points, shardRows...)
+		must(err)
+		emitResults(o, results)
+		return
+	}
+
+	// The content-addressed cache: reused points skip simulation entirely;
+	// computed points are journaled, so an interrupted run resumes. Shard
+	// runs journal to per-shard files so concurrent processes never
+	// interleave appends.
+	var cache *sweepcache.Cache
+	var pointCache sweep.PointCache
+	if o.cacheDir != "" {
+		shardName := ""
+		if o.shards > 1 {
+			shardName = fmt.Sprintf("shard%d", o.shard)
+		}
+		c, err := sweepcache.OpenShard(o.cacheDir, shardName)
+		must(err)
+		cache = c
+		pointCache = c
+	}
+
+	if o.shards > 1 {
+		shard, err := sweep.ShardPoints(points, o.shard, o.shards)
+		must(err)
+		results, err := runner.RunCached(context.Background(), shard.Points, pointCache, nil)
+		must(err)
+		for _, row := range shard.ShardResults(results) {
+			must(export.WriteNDJSONLine(os.Stdout, row))
+		}
+		closeCache(cache)
+		return
+	}
+
+	results, err := runner.RunCached(context.Background(), points, pointCache, nil)
+	must(err)
+	if cache != nil {
+		st := cache.Stats()
+		fmt.Fprintf(os.Stderr, "netsim: cache %s: %d/%d points reused, %d computed (%d entries)\n",
+			o.cacheDir, st.Hits, len(points), st.Misses, st.Entries)
+	}
+	closeCache(cache)
+	emitResults(o, results)
+}
+
+// emitResults writes sweep results in the selected format.
+func emitResults(o sweepOpts, results []sweep.Result) {
 	switch {
 	case o.raw && o.format == "json":
 		must(sweep.WriteResultsJSON(os.Stdout, results))
@@ -563,6 +666,69 @@ func runSweep(o sweepOpts) {
 		must(sweep.WriteCurveCSV(os.Stdout, sweep.Aggregate(results)))
 	default:
 		printCurveTable(sweep.Aggregate(results))
+	}
+}
+
+// readShardFile loads one -shards run's NDJSON rows.
+func readShardFile(path string) []sweep.ShardResult {
+	f, err := os.Open(path)
+	must(err)
+	defer f.Close()
+	var rows []sweep.ShardResult
+	truncated, err := export.ForEachNDJSONLine(f, func(line []byte) error {
+		var row sweep.ShardResult
+		if err := json.Unmarshal(line, &row); err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		rows = append(rows, row)
+		return nil
+	})
+	must(err)
+	if truncated {
+		fmt.Fprintf(os.Stderr, "netsim: %s ends mid-line (interrupted shard?); dropped the torn fragment\n", path)
+	}
+	return rows
+}
+
+// closeCache closes the journal, surfacing a degraded-persistence warning
+// (a failed append never fails the sweep itself).
+func closeCache(c *sweepcache.Cache) {
+	if c == nil {
+		return
+	}
+	if err := c.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "netsim: warning: %v (results are complete; the cache journal is not)\n", err)
+	}
+	c.Close()
+}
+
+// runServe starts the sweep service (internal/sweepserver): submit grids,
+// stream per-point results as NDJSON, query cache stats, cancel jobs.
+func runServe(args []string) {
+	fs := flag.NewFlagSet("netsim serve", flag.ExitOnError)
+	addr := fs.String("addr", ":8080", "listen address")
+	cacheDir := fs.String("cachedir", "", "content-addressed result cache directory (empty = in-memory only)")
+	workers := fs.Int("workers", 0, "sweep worker goroutines (0 = GOMAXPROCS)")
+	fs.Parse(args)
+	var cache *sweepcache.Cache
+	if *cacheDir != "" {
+		// The server journals under its own name so a concurrent CLI sweep
+		// appending to the same directory (journal.ndjson) never interleaves
+		// writes with it.
+		c, err := sweepcache.OpenShard(*cacheDir, "server")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "netsim: %v\n", err)
+			os.Exit(1)
+		}
+		cache = c
+		st := c.Stats()
+		log.Printf("netsim serve: cache %s loaded (%d entries)", *cacheDir, st.Entries)
+	}
+	srv := sweepserver.New(sweep.Runner{Workers: *workers}, cache)
+	log.Printf("netsim serve: listening on %s (POST /api/v1/sweeps)", *addr)
+	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
+		fmt.Fprintf(os.Stderr, "netsim: %v\n", err)
+		os.Exit(1)
 	}
 }
 

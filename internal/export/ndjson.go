@@ -1,0 +1,55 @@
+package export
+
+// NDJSON (newline-delimited JSON) helpers shared by the sweep service
+// layer: the result cache journal (internal/sweepcache), shard result
+// files (cmd/netsim -shards) and the HTTP result stream
+// (internal/sweepserver) all speak one line-oriented format through these
+// two functions, so framing rules cannot drift between producers.
+//
+// The framing rule doubles as the crash-tolerance contract: a record
+// exists once its terminating newline is on disk. Readers therefore treat
+// a final unterminated fragment — the signature of a writer killed
+// mid-append — as absent, which is what makes append-only journals safely
+// resumable.
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"io"
+)
+
+// WriteNDJSONLine marshals v and writes it as one newline-terminated line.
+func WriteNDJSONLine(w io.Writer, v any) error {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}
+
+// ForEachNDJSONLine invokes fn with every newline-terminated line of r
+// (newline stripped, empty lines skipped) and stops at fn's first error.
+// truncated reports that the stream ended in an unterminated fragment,
+// which is dropped per the framing contract above.
+func ForEachNDJSONLine(r io.Reader, fn func(line []byte) error) (truncated bool, err error) {
+	br := bufio.NewReader(r)
+	for {
+		line, err := br.ReadBytes('\n')
+		if err == io.EOF {
+			return len(bytes.TrimSpace(line)) > 0, nil
+		}
+		if err != nil {
+			return false, err
+		}
+		line = bytes.TrimSpace(line)
+		if len(line) == 0 {
+			continue
+		}
+		if err := fn(line); err != nil {
+			return false, err
+		}
+	}
+}

@@ -1,0 +1,54 @@
+package export
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNDJSONRoundTrip(t *testing.T) {
+	type row struct {
+		K string `json:"k"`
+		V int    `json:"v"`
+	}
+	var b strings.Builder
+	for i, k := range []string{"a", "b", "c"} {
+		if err := WriteNDJSONLine(&b, row{K: k, V: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := strings.Count(b.String(), "\n"); got != 3 {
+		t.Fatalf("wrote %d newlines, want 3", got)
+	}
+	var lines []string
+	truncated, err := ForEachNDJSONLine(strings.NewReader(b.String()), func(line []byte) error {
+		lines = append(lines, string(line))
+		return nil
+	})
+	if err != nil || truncated {
+		t.Fatalf("scan: err=%v truncated=%v", err, truncated)
+	}
+	if len(lines) != 3 || lines[0] != `{"k":"a","v":0}` {
+		t.Fatalf("scanned %q", lines)
+	}
+}
+
+// TestNDJSONTornTail pins the framing contract: a final unterminated
+// fragment is reported, not delivered — the rule append-only journals
+// rely on for crash tolerance.
+func TestNDJSONTornTail(t *testing.T) {
+	in := "{\"k\":1}\n\n  \n{\"k\":2}\n{\"k\":3"
+	var n int
+	truncated, err := ForEachNDJSONLine(strings.NewReader(in), func(line []byte) error {
+		n++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !truncated {
+		t.Fatalf("torn tail not reported")
+	}
+	if n != 2 {
+		t.Fatalf("delivered %d lines, want 2 (blank lines skipped, torn tail dropped)", n)
+	}
+}

@@ -1,0 +1,94 @@
+package kautz
+
+// Route-invariant property tests (PR 5 test hardening): exhaustive
+// strict-progress checks of the routing table against BFS ground truth on
+// several orders, and random-fault-set checks that RouteAvoiding never
+// traverses a masked vertex — at every fault count up to the d-1 the §2.5
+// claim covers, not just the extreme point.
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestRouteTableAdvanceExhaustive checks, for every ordered pair of every
+// listed order, that the table's next hop strictly decreases the BFS
+// distance to the destination — the invariant that makes table routing
+// loop-free. Ground truth is a digraph BFS, independent of the label
+// arithmetic the table is tested against elsewhere.
+func TestRouteTableAdvanceExhaustive(t *testing.T) {
+	for _, p := range [][2]int{{2, 2}, {2, 3}, {3, 2}, {3, 3}, {4, 2}} {
+		d, k := p[0], p[1]
+		kg := New(d, k)
+		tab := kg.BuildRoutingTable()
+		g := kg.Digraph()
+		rows := make([][]int, kg.N())
+		for u := 0; u < kg.N(); u++ {
+			rows[u] = g.BFS(u)
+		}
+		for u := 0; u < kg.N(); u++ {
+			for v := 0; v < kg.N(); v++ {
+				if u == v {
+					if h := tab.NextHop(u, v); h != -1 {
+						t.Fatalf("K(%d,%d): NextHop(%d,%d) = %d on the diagonal, want -1", d, k, u, v, h)
+					}
+					continue
+				}
+				h := tab.NextHop(u, v)
+				if h < 0 {
+					t.Fatalf("K(%d,%d): no next hop %d->%d", d, k, u, v)
+				}
+				if rows[h][v] != rows[u][v]-1 {
+					t.Fatalf("K(%d,%d): hop %d->%d toward %d does not advance (dist %d -> %d)",
+						d, k, u, h, v, rows[u][v], rows[h][v])
+				}
+			}
+		}
+	}
+}
+
+// TestRouteAvoidingRandomFaultSets drives RouteAvoiding with seeded random
+// fault sets of every size up to d-1 and requires: a route exists, it is a
+// valid Kautz path, its interior avoids every masked vertex, and its
+// length respects the §2.5 bound of k+2 hops.
+func TestRouteAvoidingRandomFaultSets(t *testing.T) {
+	for _, p := range [][2]int{{3, 2}, {3, 3}, {4, 2}} {
+		d, k := p[0], p[1]
+		kg := New(d, k)
+		rng := rand.New(rand.NewSource(int64(100*d + k)))
+		for trial := 0; trial < 200; trial++ {
+			u, v := rng.Intn(kg.N()), rng.Intn(kg.N())
+			if u == v {
+				continue
+			}
+			nf := 1 + rng.Intn(d-1) // 1..d-1 faults
+			faulty := map[int]bool{}
+			for len(faulty) < nf {
+				f := rng.Intn(kg.N())
+				if f != u && f != v {
+					faulty[f] = true
+				}
+			}
+			from, to := kg.LabelOf(u), kg.LabelOf(v)
+			path, _ := kg.RouteAvoiding(from, to, func(w Label) bool { return faulty[kg.Index(w)] })
+			if path == nil {
+				t.Fatalf("K(%d,%d): no route %s->%s around %d faults", d, k, from, to, nf)
+			}
+			if !ValidPath(path, d) {
+				t.Fatalf("K(%d,%d): invalid path %v", d, k, path)
+			}
+			if !path[0].Equal(from) || !path[len(path)-1].Equal(to) {
+				t.Fatalf("K(%d,%d): path endpoints %v do not match %s->%s", d, k, path, from, to)
+			}
+			for _, w := range path[1 : len(path)-1] {
+				if faulty[kg.Index(w)] {
+					t.Fatalf("K(%d,%d): path %v traverses masked vertex %s", d, k, path, w)
+				}
+			}
+			if len(path)-1 > k+2 {
+				t.Fatalf("K(%d,%d): path %v has %d hops > k+2 under %d <= d-1 faults",
+					d, k, path, len(path)-1, nf)
+			}
+		}
+	}
+}

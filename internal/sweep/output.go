@@ -102,9 +102,11 @@ func WriteCurveCSV(w io.Writer, points []CurvePoint) error {
 	return cw.Error()
 }
 
-// resultJSON is the flat JSON shape of one result (topologies are not
+// Record is the flat JSON shape of one result (topologies are not
 // serializable, so the scenario is flattened to its identifying fields).
-type resultJSON struct {
+// It is the row format of WriteResultsJSON and of the sweep service's
+// NDJSON result stream (internal/sweepserver).
+type Record struct {
 	Topology    string  `json:"topology"`
 	Traffic     string  `json:"traffic"`
 	Workload    string  `json:"workload"`
@@ -130,35 +132,40 @@ type resultJSON struct {
 	RecoverySlots int `json:"recovery_slots"`
 }
 
+// NewRecord flattens one result into its row form.
+func NewRecord(r Result) Record {
+	s, m := r.Scenario, r.Metrics
+	return Record{
+		Topology:      s.Topology.Name,
+		Traffic:       s.TrafficName,
+		Workload:      s.Workload.Label(),
+		Rate:          s.Rate,
+		Mode:          s.Mode.String(),
+		Wavelengths:   s.Wavelengths,
+		Fault:         s.Fault.Label(),
+		Seed:          s.Seed,
+		Slots:         m.Slots,
+		Injected:      m.Injected,
+		Delivered:     m.Delivered,
+		Dropped:       m.Dropped,
+		Backlog:       m.Backlog,
+		Throughput:    m.Throughput(),
+		AvgLatency:    m.AvgLatency(),
+		AvgHops:       m.AvgHops(),
+		PeakQueue:     m.PeakQueue,
+		Deflections:   m.Deflections,
+		Unroutable:    m.Unroutable,
+		LostToFaults:  m.LostToFaults,
+		Reroutes:      m.Reroutes,
+		RecoverySlots: m.RecoverySlots,
+	}
+}
+
 // WriteResultsJSON emits the raw results as a JSON array.
 func WriteResultsJSON(w io.Writer, results []Result) error {
-	out := make([]resultJSON, len(results))
+	out := make([]Record, len(results))
 	for i, r := range results {
-		s, m := r.Scenario, r.Metrics
-		out[i] = resultJSON{
-			Topology:      s.Topology.Name,
-			Traffic:       s.TrafficName,
-			Workload:      s.Workload.Label(),
-			Rate:          s.Rate,
-			Mode:          s.Mode.String(),
-			Wavelengths:   s.Wavelengths,
-			Fault:         s.Fault.Label(),
-			Seed:          s.Seed,
-			Slots:         m.Slots,
-			Injected:      m.Injected,
-			Delivered:     m.Delivered,
-			Dropped:       m.Dropped,
-			Backlog:       m.Backlog,
-			Throughput:    m.Throughput(),
-			AvgLatency:    m.AvgLatency(),
-			AvgHops:       m.AvgHops(),
-			PeakQueue:     m.PeakQueue,
-			Deflections:   m.Deflections,
-			Unroutable:    m.Unroutable,
-			LostToFaults:  m.LostToFaults,
-			Reroutes:      m.Reroutes,
-			RecoverySlots: m.RecoverySlots,
-		}
+		out[i] = NewRecord(r)
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")

@@ -17,6 +17,7 @@
 package sweep
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -252,15 +253,65 @@ func (r Runner) workers() int {
 // identical to standalone Scenario.Run calls regardless of worker count or
 // scheduling order.
 func (r Runner) Run(points []Scenario) []Result {
+	results, _ := r.RunCached(context.Background(), points, nil, nil)
+	return results
+}
+
+// PointCache is the lookup/store contract of a content-addressed result
+// cache (implemented by internal/sweepcache). Keys are Scenario.CacheKey
+// values. Implementations must be safe for concurrent use by every worker
+// goroutine.
+type PointCache interface {
+	Lookup(key string) (sim.Metrics, bool)
+	Store(key string, m sim.Metrics)
+}
+
+// Progress is invoked once per completed point, from worker goroutines —
+// implementations must tolerate concurrent calls. i is the point's index
+// in the input slice; cached reports a cache hit (the point was reused,
+// not computed).
+type Progress func(i int, res Result, cached bool)
+
+// RunCached is Run with a result cache, per-point progress events and
+// cooperative cancellation. Hashable points (Scenario.CacheKey) found in
+// the cache are reused without touching an engine; computed hashable
+// points are stored back, so an interrupted grid resumes where it stopped
+// and overlapping grids share work. Cache hits are bit-for-bit the metrics
+// the engine would have produced — keys cover everything the engine reads
+// — so results are identical to Run regardless of hit pattern. cache and
+// progress may be nil. Cancellation has per-point granularity: in-flight
+// scenarios finish (and are cached), unstarted ones are skipped, and the
+// error reports ctx.Err() with the returned slice holding zero Metrics for
+// every skipped point.
+func (r Runner) RunCached(ctx context.Context, points []Scenario, cache PointCache, progress Progress) ([]Result, error) {
 	results := make([]Result, len(points))
-	r.fanScoped(len(points), func() func(int) {
-		var cache engineCache
+	err := r.fanScopedCtx(ctx, len(points), func() func(int) {
+		var engines engineCache
 		return func(i int) {
 			p := points[i]
-			results[i] = Result{Scenario: p, Metrics: cache.run(p)}
+			key, hashable := "", false
+			if cache != nil {
+				if key, hashable = p.CacheKey(); hashable {
+					if m, ok := cache.Lookup(key); ok {
+						results[i] = Result{Scenario: p, Metrics: m}
+						if progress != nil {
+							progress(i, results[i], true)
+						}
+						return
+					}
+				}
+			}
+			m := engines.run(p)
+			if hashable {
+				cache.Store(key, m)
+			}
+			results[i] = Result{Scenario: p, Metrics: m}
+			if progress != nil {
+				progress(i, results[i], false)
+			}
 		}
 	})
-	return results
+	return results, err
 }
 
 // engineCache is one sweep worker's pool of reusable simulation state,
@@ -370,12 +421,19 @@ func (r Runner) fan(n int, fn func(i int)) {
 // state (e.g. an engine cache) per worker goroutine via newWorker, and
 // waits for completion.
 func (r Runner) fanScoped(n int, newWorker func() func(i int)) {
+	r.fanScopedCtx(context.Background(), n, newWorker)
+}
+
+// fanScopedCtx is fanScoped with cooperative cancellation: once ctx is
+// done, no further indices are handed out (indices already claimed by a
+// worker finish normally) and ctx.Err() is returned.
+func (r Runner) fanScopedCtx(ctx context.Context, n int, newWorker func() func(i int)) error {
 	workers := r.workers()
 	if workers > n {
 		workers = n
 	}
 	if n == 0 {
-		return
+		return ctx.Err()
 	}
 	idx := make(chan int)
 	var wg sync.WaitGroup
@@ -389,11 +447,18 @@ func (r Runner) fanScoped(n int, newWorker func() func(i int)) {
 			}
 		}()
 	}
+	done := ctx.Done()
+feed:
 	for i := 0; i < n; i++ {
-		idx <- i
+		select {
+		case idx <- i:
+		case <-done:
+			break feed
+		}
 	}
 	close(idx)
 	wg.Wait()
+	return ctx.Err()
 }
 
 // Label is a compact human-readable scenario identifier.

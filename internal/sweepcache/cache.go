@@ -1,0 +1,213 @@
+// Package sweepcache is the content-addressed result cache of the sweep
+// service layer. Every completed sweep point is stored under its canonical
+// scenario hash (sweep.Scenario.CacheKey), so repeated or overlapping
+// grids reuse finished points instead of recomputing them, and an
+// interrupted grid run resumes from the journal on the next start.
+//
+// Storage is a directory of append-only NDJSON journal files, one per
+// writer: the single-process CLI and the server append to journal.ndjson,
+// shard processes to journal-<shard>.ndjson, and Open loads the union of
+// every journal in the directory — which is also the merge rule for
+// sharded runs that share one cache directory. A record exists once its
+// newline is on disk (internal/export's NDJSON framing), so a process
+// killed mid-append loses at most the line it was writing; Open silently
+// drops the torn fragment and every completed point before it survives.
+//
+// Keys are content hashes: two entries with the same key describe the same
+// deterministic computation, so duplicate keys across journals are
+// harmless and the first loaded copy wins. There is no eviction and no
+// invalidation beyond the key itself — a scenario hash covers the topology
+// structure, every engine parameter and the key-format version, so any
+// semantic change produces new keys and stale entries are simply never
+// looked up again (delete the directory to reclaim the space).
+package sweepcache
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"otisnet/internal/export"
+	"otisnet/internal/sim"
+)
+
+// entry is one journal line: a scenario hash and its metrics. sim.Metrics
+// is a flat struct of ints, so JSON round-trips it exactly.
+type entry struct {
+	Key     string      `json:"key"`
+	Metrics sim.Metrics `json:"metrics"`
+}
+
+// Stats is a snapshot of cache effectiveness counters.
+type Stats struct {
+	// Entries is the number of distinct keys held.
+	Entries int `json:"entries"`
+	// Hits and Misses count Lookup outcomes since Open.
+	Hits   int64 `json:"hits"`
+	Misses int64 `json:"misses"`
+	// Stores counts Put calls that persisted a new entry since Open.
+	Stores int64 `json:"stores"`
+	// Loaded is how many entries came from journals at Open time;
+	// Duplicates how many journal lines repeated an already-loaded key.
+	Loaded     int `json:"loaded"`
+	Duplicates int `json:"duplicates"`
+	// TornLines counts unterminated journal tails dropped at Open time.
+	TornLines int `json:"torn_lines"`
+}
+
+// Cache is a concurrency-safe content-addressed result store. The zero
+// value is not usable; construct with Open, OpenShard or NewMemory.
+type Cache struct {
+	mu      sync.Mutex
+	entries map[string]sim.Metrics
+	journal *os.File // nil for memory-only caches
+	stats   Stats
+	err     error // first journal append failure (persistence degraded)
+}
+
+// NewMemory returns a cache with no backing directory — hits and stores
+// live only as long as the process. The sweep server uses it when started
+// without a cache directory; tests and benchmarks use it to isolate from
+// disk.
+func NewMemory() *Cache {
+	return &Cache{entries: make(map[string]sim.Metrics)}
+}
+
+// Open opens (creating if needed) the cache directory and appends new
+// entries to the default journal. Use OpenShard when several processes
+// write the same directory concurrently.
+func Open(dir string) (*Cache, error) { return OpenShard(dir, "") }
+
+// OpenShard opens the cache directory, loading every journal in it, and
+// appends this writer's entries to journal-<shard>.ndjson (journal.ndjson
+// when shard is empty). Concurrent writers must use distinct shard names:
+// appends within one process are serialized, but two processes appending
+// to one file would interleave torn lines.
+func OpenShard(dir, shard string) (*Cache, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("sweepcache: %w", err)
+	}
+	name := "journal.ndjson"
+	if shard != "" {
+		if strings.ContainsAny(shard, "/\\") {
+			return nil, fmt.Errorf("sweepcache: shard name %q must not contain path separators", shard)
+		}
+		name = "journal-" + shard + ".ndjson"
+	}
+	c := NewMemory()
+	if err := c.load(dir); err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(filepath.Join(dir, name), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("sweepcache: %w", err)
+	}
+	c.journal = f
+	return c, nil
+}
+
+// load reads every journal in dir (sorted for determinism; first copy of a
+// key wins) into the entry map.
+func (c *Cache) load(dir string) error {
+	files, err := filepath.Glob(filepath.Join(dir, "*.ndjson"))
+	if err != nil {
+		return fmt.Errorf("sweepcache: %w", err)
+	}
+	sort.Strings(files)
+	for _, path := range files {
+		f, err := os.Open(path)
+		if err != nil {
+			return fmt.Errorf("sweepcache: %w", err)
+		}
+		truncated, err := export.ForEachNDJSONLine(f, func(line []byte) error {
+			var e entry
+			if err := json.Unmarshal(line, &e); err != nil {
+				return fmt.Errorf("sweepcache: corrupt line in %s: %w", filepath.Base(path), err)
+			}
+			if _, dup := c.entries[e.Key]; dup {
+				c.stats.Duplicates++
+				return nil
+			}
+			c.entries[e.Key] = e.Metrics
+			c.stats.Loaded++
+			return nil
+		})
+		f.Close()
+		if err != nil {
+			return err
+		}
+		if truncated {
+			c.stats.TornLines++
+		}
+	}
+	c.stats.Entries = len(c.entries)
+	return nil
+}
+
+// Lookup implements sweep.PointCache.
+func (c *Cache) Lookup(key string) (sim.Metrics, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	m, ok := c.entries[key]
+	if ok {
+		c.stats.Hits++
+	} else {
+		c.stats.Misses++
+	}
+	return m, ok
+}
+
+// Store implements sweep.PointCache: it records the metrics under key and
+// appends the entry to the journal. A key already present is skipped —
+// content addressing guarantees the stored copy is the same result.
+// Journal write errors are deliberately swallowed after marking the cache
+// degraded (see Err): a full disk should cost cache persistence, not the
+// sweep that is busy computing real results.
+func (c *Cache) Store(key string, m sim.Metrics) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, dup := c.entries[key]; dup {
+		return
+	}
+	c.entries[key] = m
+	c.stats.Entries = len(c.entries)
+	c.stats.Stores++
+	if c.journal == nil {
+		return
+	}
+	if err := export.WriteNDJSONLine(c.journal, entry{Key: key, Metrics: m}); err != nil && c.err == nil {
+		c.err = fmt.Errorf("sweepcache: journal append: %w", err)
+	}
+}
+
+// Err reports the first journal append failure, or nil. In-memory lookups
+// keep working after a failure; only persistence is degraded.
+func (c *Cache) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.err
+}
+
+// Stats returns a snapshot of the counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// Close flushes nothing (appends go straight to the file) but releases the
+// journal handle. The cache must not be used after Close.
+func (c *Cache) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.journal == nil {
+		return nil
+	}
+	err := c.journal.Close()
+	c.journal = nil
+	return err
+}

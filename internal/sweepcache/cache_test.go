@@ -1,0 +1,193 @@
+package sweepcache_test
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"otisnet/internal/sim"
+	"otisnet/internal/stackkautz"
+	"otisnet/internal/sweep"
+	"otisnet/internal/sweepcache"
+)
+
+func metrics(delivered int) sim.Metrics {
+	return sim.Metrics{Slots: 100, Injected: delivered + 3, Delivered: delivered, Dropped: 3, TotalLatency: 7 * delivered, TotalHops: 2 * delivered, PeakQueue: 5}
+}
+
+func TestJournalRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	c, err := sweepcache.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Store("k1", metrics(10))
+	c.Store("k2", metrics(20))
+	c.Store("k1", metrics(10)) // duplicate store: no second journal line
+	if err := c.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := sweepcache.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	st := re.Stats()
+	if st.Entries != 2 || st.Loaded != 2 || st.Duplicates != 0 {
+		t.Fatalf("reloaded stats %+v, want 2 entries, 2 loaded, 0 duplicates", st)
+	}
+	if m, ok := re.Lookup("k1"); !ok || m != metrics(10) {
+		t.Fatalf("k1 reloaded as %v, %v", m, ok)
+	}
+	if _, ok := re.Lookup("missing"); ok {
+		t.Fatalf("phantom hit")
+	}
+	st = re.Stats()
+	if st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("hit/miss counters %+v", st)
+	}
+}
+
+// TestTornTailDropped kills a writer mid-append (simulated by truncating
+// the journal inside the last line) and verifies the reopen drops exactly
+// the torn record: resumability loses at most the line being written.
+func TestTornTailDropped(t *testing.T) {
+	dir := t.TempDir()
+	c, err := sweepcache.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Store("k1", metrics(10))
+	c.Store("k2", metrics(20))
+	c.Close()
+
+	path := filepath.Join(dir, "journal.ndjson")
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, b[:len(b)-7], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := sweepcache.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	st := re.Stats()
+	if st.Entries != 1 || st.TornLines != 1 {
+		t.Fatalf("stats after torn tail: %+v, want 1 entry and 1 torn line", st)
+	}
+	if _, ok := re.Lookup("k1"); !ok {
+		t.Fatalf("intact entry lost with the torn tail")
+	}
+}
+
+// TestCorruptCompleteLineIsAnError distinguishes a torn tail (tolerated)
+// from a newline-terminated line that does not parse (real corruption).
+func TestCorruptCompleteLineIsAnError(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "journal.ndjson"), []byte("{nope}\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sweepcache.Open(dir); err == nil || !strings.Contains(err.Error(), "corrupt") {
+		t.Fatalf("corrupt journal opened without error (err=%v)", err)
+	}
+}
+
+// TestShardJournalsUnion verifies the sharded-cache merge rule: every
+// writer appends to its own journal and Open loads the union.
+func TestShardJournalsUnion(t *testing.T) {
+	dir := t.TempDir()
+	// Both writers open before either stores — the concurrent-process
+	// shape, where neither journal can see the other's entries.
+	var caches []*sweepcache.Cache
+	for _, shard := range []string{"shard0", "shard1"} {
+		c, err := sweepcache.OpenShard(dir, shard)
+		if err != nil {
+			t.Fatal(err)
+		}
+		caches = append(caches, c)
+	}
+	for i, key := range []string{"a", "b"} {
+		caches[i].Store(key, metrics(i))
+		caches[i].Store("common", metrics(42)) // same key from both shards
+		caches[i].Close()
+	}
+	c, err := sweepcache.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	st := c.Stats()
+	if st.Entries != 3 {
+		t.Fatalf("union has %d entries, want 3 (a, b, common); stats %+v", st.Entries, st)
+	}
+	if st.Duplicates != 1 {
+		t.Fatalf("duplicate count %d, want 1 (the shared key)", st.Duplicates)
+	}
+	for _, key := range []string{"a", "b", "common"} {
+		if _, ok := c.Lookup(key); !ok {
+			t.Fatalf("key %q missing from union", key)
+		}
+	}
+	if _, err := sweepcache.OpenShard(dir, "../evil"); err == nil {
+		t.Fatalf("path separator in shard name accepted")
+	}
+}
+
+// TestResumedGridComputesOnlyTheRemainder runs half a grid, "crashes", and
+// resumes the full grid against the same directory: the resumed run must
+// compute exactly the missing half and reproduce the single-run metrics.
+func TestResumedGridComputesOnlyTheRemainder(t *testing.T) {
+	grid := sweep.Grid{
+		Topologies: []sweep.Topology{
+			{Name: "SK(3,2,2)", Topo: sim.NewStackTopology(stackkautz.New(3, 2, 2).StackGraph()), GroupSize: 3},
+		},
+		Rates: []float64{0.1, 0.2, 0.3, 0.4},
+		Seeds: []int64{1, 2},
+		Slots: 150,
+		Drain: 150,
+	}
+	points := grid.Points()
+	want := sweep.Runner{}.Run(points)
+	dir := t.TempDir()
+
+	c1, err := sweepcache.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := (sweep.Runner{}).RunCached(context.Background(), points[:len(points)/2], c1, nil); err != nil {
+		t.Fatal(err)
+	}
+	c1.Close() // the "crash" boundary: only the journal survives
+
+	c2, err := sweepcache.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	results, err := sweep.Runner{}.RunCached(context.Background(), points, c2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := c2.Stats()
+	if st.Loaded != len(points)/2 {
+		t.Fatalf("resume loaded %d entries, want %d", st.Loaded, len(points)/2)
+	}
+	if st.Misses != int64(len(points)-len(points)/2) {
+		t.Fatalf("resume computed %d points, want %d", st.Misses, len(points)-len(points)/2)
+	}
+	for i := range points {
+		if results[i].Metrics != want[i].Metrics {
+			t.Fatalf("resumed point %d differs from single run", i)
+		}
+	}
+}

@@ -1,0 +1,334 @@
+// Package sweepserver exposes the sweep service layer over HTTP/JSON:
+// submit a scenario grid, stream its per-point results as NDJSON while
+// workers complete them, poll job status, cancel a running grid, and read
+// result-cache statistics. It is the `netsim serve` subcommand's engine
+// room. Jobs run on a sweep.Runner whose workers reuse compiled engines
+// per topology, and every completed point flows through the shared
+// content-addressed cache (internal/sweepcache), so repeated or
+// overlapping submissions answer from cache instead of simulating again.
+//
+// API (all under /api/v1):
+//
+//	POST /api/v1/sweeps        — submit a GridSpec; returns {id, points}
+//	GET  /api/v1/sweeps        — list jobs
+//	GET  /api/v1/sweeps/{id}   — job status
+//	GET  /api/v1/sweeps/{id}/stream — NDJSON, one line per completed point
+//	                             (already-completed points replay first)
+//	GET  /api/v1/sweeps/{id}/curve  — aggregated curve (completed jobs)
+//	POST /api/v1/sweeps/{id}/cancel — stop handing out points
+//	GET  /api/v1/cache/stats   — sweepcache counters
+//
+// Jobs are in-memory; the cache is what persists across restarts. A
+// resubmitted grid after a restart replays instantly from the cache.
+package sweepserver
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+
+	"otisnet/internal/export"
+	"otisnet/internal/sweep"
+	"otisnet/internal/sweepcache"
+)
+
+// Server owns the job table. Construct with New; serve Handler().
+type Server struct {
+	runner sweep.Runner
+	cache  *sweepcache.Cache
+
+	mu   sync.Mutex
+	jobs map[string]*job
+	seq  int
+
+	// topos reuses built-and-validated topologies across submissions,
+	// keyed by canonical spec. Built topologies are read-only (fault
+	// scenarios wrap them per engine), so jobs share them freely — exactly
+	// as CLI sweep workers share one base topology. Reuse also keeps
+	// sweep.TopologyFingerprint's per-value memo bounded by the distinct
+	// specs ever submitted, instead of growing with every request.
+	topoMu sync.Mutex
+	topos  map[sweep.TopoSpec]sweep.Topology
+}
+
+// New builds a server running grids on runner, caching through cache (a
+// sweepcache.NewMemory() when nil).
+func New(runner sweep.Runner, cache *sweepcache.Cache) *Server {
+	if cache == nil {
+		cache = sweepcache.NewMemory()
+	}
+	return &Server{
+		runner: runner,
+		cache:  cache,
+		jobs:   make(map[string]*job),
+		topos:  make(map[sweep.TopoSpec]sweep.Topology),
+	}
+}
+
+// buildTopo returns the memoized topology for a spec, building and
+// validating it on first use.
+func (s *Server) buildTopo(ts sweep.TopoSpec) (sweep.Topology, error) {
+	key := ts.Canonical()
+	s.topoMu.Lock()
+	defer s.topoMu.Unlock()
+	if topo, ok := s.topos[key]; ok {
+		return topo, nil
+	}
+	topo, err := buildAndCheck(key)
+	if err != nil {
+		return sweep.Topology{}, err
+	}
+	s.topos[key] = topo
+	return topo, nil
+}
+
+// job states.
+const (
+	stateRunning  = "running"
+	stateDone     = "done"
+	stateCanceled = "canceled"
+)
+
+// StreamEvent is one NDJSON line of a result stream: the point's index in
+// the grid, whether it came from the cache, and the flat result row.
+type StreamEvent struct {
+	Index  int  `json:"index"`
+	Cached bool `json:"cached"`
+	sweep.Record
+}
+
+// job is one submitted grid. cond (over mu) broadcasts every append and
+// the terminal state change, which is what lets any number of stream
+// handlers tail the events slice without channels per subscriber.
+type job struct {
+	id     string
+	points []sweep.Scenario
+	cancel context.CancelFunc
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	events  []StreamEvent
+	cached  int
+	state   string
+	results []sweep.Result // set when state == stateDone
+}
+
+// Status is the JSON status of a job.
+type Status struct {
+	ID     string `json:"id"`
+	State  string `json:"state"`
+	Points int    `json:"points"`
+	Done   int    `json:"done"`
+	Cached int    `json:"cached"`
+}
+
+func (j *job) status() Status {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return Status{ID: j.id, State: j.state, Points: len(j.points), Done: len(j.events), Cached: j.cached}
+}
+
+// submit registers a grid and starts executing it, returning the job
+// immediately.
+func (s *Server) submit(spec GridSpec) (*job, error) {
+	grid, err := spec.grid(s.buildTopo)
+	if err != nil {
+		return nil, err
+	}
+	points := grid.Points()
+	ctx, cancel := context.WithCancel(context.Background())
+	j := &job{points: points, cancel: cancel, state: stateRunning}
+	j.cond = sync.NewCond(&j.mu)
+	s.mu.Lock()
+	s.seq++
+	j.id = fmt.Sprintf("s%d", s.seq)
+	s.jobs[j.id] = j
+	s.mu.Unlock()
+	go s.run(ctx, j)
+	return j, nil
+}
+
+// run executes the job's points and drives its event log.
+func (s *Server) run(ctx context.Context, j *job) {
+	results, err := s.runner.RunCached(ctx, j.points, s.cache, func(i int, res sweep.Result, cached bool) {
+		ev := StreamEvent{Index: i, Cached: cached, Record: sweep.NewRecord(res)}
+		j.mu.Lock()
+		j.events = append(j.events, ev)
+		if cached {
+			j.cached++
+		}
+		j.mu.Unlock()
+		j.cond.Broadcast()
+	})
+	j.mu.Lock()
+	if err != nil {
+		j.state = stateCanceled
+	} else {
+		j.state = stateDone
+		j.results = results
+	}
+	j.mu.Unlock()
+	j.cond.Broadcast()
+}
+
+// Handler returns the API router.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /api/v1/sweeps", s.handleSubmit)
+	mux.HandleFunc("GET /api/v1/sweeps", s.handleList)
+	mux.HandleFunc("GET /api/v1/sweeps/{id}", s.handleStatus)
+	mux.HandleFunc("GET /api/v1/sweeps/{id}/stream", s.handleStream)
+	mux.HandleFunc("GET /api/v1/sweeps/{id}/curve", s.handleCurve)
+	mux.HandleFunc("POST /api/v1/sweeps/{id}/cancel", s.handleCancel)
+	mux.HandleFunc("GET /api/v1/cache/stats", s.handleCacheStats)
+	return mux
+}
+
+func (s *Server) lookup(w http.ResponseWriter, r *http.Request) *job {
+	s.mu.Lock()
+	j := s.jobs[r.PathValue("id")]
+	s.mu.Unlock()
+	if j == nil {
+		http.Error(w, "no such sweep", http.StatusNotFound)
+	}
+	return j
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec GridSpec
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		http.Error(w, "bad grid spec: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	j, err := s.submit(spec)
+	if err != nil {
+		http.Error(w, "bad grid spec: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusAccepted)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(j.status())
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	jobs := make([]*job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		jobs = append(jobs, j)
+	}
+	s.mu.Unlock()
+	out := make([]Status, len(jobs))
+	for i, j := range jobs {
+		out[i] = j.status()
+	}
+	// Job ids are s<seq>; shorter-then-lexicographic sorts them numerically.
+	sort.Slice(out, func(a, b int) bool {
+		if len(out[a].ID) != len(out[b].ID) {
+			return len(out[a].ID) < len(out[b].ID)
+		}
+		return out[a].ID < out[b].ID
+	})
+	writeJSON(w, out)
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	if j := s.lookup(w, r); j != nil {
+		writeJSON(w, j.status())
+	}
+}
+
+// handleStream tails the job's event log as NDJSON: completed points
+// replay first, then lines are written as workers finish points, each
+// flushed immediately. The stream ends when the job reaches a terminal
+// state (or the client goes away).
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(w, r)
+	if j == nil {
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	flusher, _ := w.(http.Flusher)
+	// A canceled request must wake the cond wait below. The broadcast takes
+	// j.mu first: the condition it signals (the request context's error)
+	// changes outside the lock, and a lock-free Broadcast could fire between
+	// the waiter's predicate check and its Wait registration — a missed
+	// wakeup that would leave the handler blocked past the disconnect.
+	stop := context.AfterFunc(r.Context(), func() {
+		j.mu.Lock()
+		defer j.mu.Unlock()
+		j.cond.Broadcast()
+	})
+	defer stop()
+	next := 0
+	for {
+		j.mu.Lock()
+		for next >= len(j.events) && j.state == stateRunning && r.Context().Err() == nil {
+			j.cond.Wait()
+		}
+		events := j.events[next:]
+		next += len(events)
+		terminal := j.state != stateRunning
+		j.mu.Unlock()
+		if r.Context().Err() != nil {
+			return
+		}
+		for _, ev := range events {
+			if err := export.WriteNDJSONLine(w, ev); err != nil {
+				return
+			}
+		}
+		if flusher != nil && len(events) > 0 {
+			flusher.Flush()
+		}
+		// On a terminal state, one more pass drains events appended between
+		// the snapshot and the state change; the empty pass after that ends
+		// the stream.
+		if terminal && len(events) == 0 {
+			return
+		}
+	}
+}
+
+// handleCurve aggregates a completed job's results into curve points.
+func (s *Server) handleCurve(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(w, r)
+	if j == nil {
+		return
+	}
+	j.mu.Lock()
+	state, results := j.state, j.results
+	j.mu.Unlock()
+	if state != stateDone {
+		http.Error(w, fmt.Sprintf("sweep is %s; the curve needs a completed job", state), http.StatusConflict)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	sweep.WriteCurveJSON(w, sweep.Aggregate(results))
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(w, r)
+	if j == nil {
+		return
+	}
+	j.cancel()
+	writeJSON(w, j.status())
+}
+
+func (s *Server) handleCacheStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, s.cache.Stats())
+}

@@ -1,0 +1,190 @@
+package sweepserver
+
+import (
+	"fmt"
+
+	"otisnet/internal/faults"
+	"otisnet/internal/sim"
+	"otisnet/internal/sweep"
+	"otisnet/internal/workload"
+)
+
+// GridSpec is the JSON description of a sweep grid submitted to the
+// service: the serializable counterpart of sweep.Grid, with topologies,
+// workloads and faults given as specs instead of live values. Zero-valued
+// axes take the same defaults as sweep.Grid.Points (one 0.2-load point,
+// seed 1, store-and-forward, one wavelength, 1000 slots).
+type GridSpec struct {
+	Topologies  []sweep.TopoSpec `json:"topologies"`
+	Rates       []float64        `json:"rates,omitempty"`
+	Seeds       []int64          `json:"seeds,omitempty"`
+	Modes       []string         `json:"modes,omitempty"` // "sf" and/or "deflect"
+	Wavelengths []int            `json:"wavelengths,omitempty"`
+	MaxQueue    int              `json:"max_queue,omitempty"`
+	Slots       int              `json:"slots,omitempty"`
+	Drain       int              `json:"drain,omitempty"`
+	Workloads   []WorkloadSpec   `json:"workloads,omitempty"`
+	Faults      []FaultSpec      `json:"faults,omitempty"`
+}
+
+// WorkloadSpec is the JSON form of workload.Spec.
+type WorkloadSpec struct {
+	Kind      string  `json:"kind"` // uniform, transpose, hotspot or bursty
+	HotGroup  int     `json:"hot_group,omitempty"`
+	Fraction  float64 `json:"fraction,omitempty"`
+	MeanOn    float64 `json:"mean_on,omitempty"`
+	MeanOff   float64 `json:"mean_off,omitempty"`
+	OffFactor float64 `json:"off_factor,omitempty"`
+}
+
+// spec validates and converts to the sweep-axis value.
+func (ws WorkloadSpec) spec() (workload.Spec, error) {
+	kind, err := workload.ParseKind(ws.Kind)
+	if err != nil {
+		return workload.Spec{}, err
+	}
+	switch kind {
+	case workload.KindHotspot:
+		if ws.Fraction < 0 || ws.Fraction > 1 {
+			return workload.Spec{}, fmt.Errorf("hotspot fraction %g not in [0,1]", ws.Fraction)
+		}
+		if ws.HotGroup < 0 {
+			return workload.Spec{}, fmt.Errorf("hotspot hot_group %d negative", ws.HotGroup)
+		}
+		return workload.Spec{Kind: kind, HotGroup: ws.HotGroup, Fraction: ws.Fraction}, nil
+	case workload.KindBursty:
+		if ws.MeanOn < 1 || ws.MeanOff < 1 || ws.OffFactor < 0 || ws.OffFactor > 1 {
+			return workload.Spec{}, fmt.Errorf("bursty workload wants mean_on >= 1, mean_off >= 1 and off_factor in [0,1]")
+		}
+		return workload.Spec{Kind: kind, MeanOn: ws.MeanOn, MeanOff: ws.MeanOff, OffFactor: ws.OffFactor}, nil
+	default:
+		return workload.Spec{Kind: kind}, nil
+	}
+}
+
+// FaultSpec is the JSON form of faults.Spec. MTBF and MTTR select the
+// stochastic transient process when both are positive; otherwise Count
+// elements fail permanently at Slot. Seed pins the fault set across the
+// grid's seed axis when non-zero.
+type FaultSpec struct {
+	Kind  string  `json:"kind"` // node, coupler or tx
+	Count int     `json:"count"`
+	Slot  int     `json:"slot,omitempty"`
+	MTBF  float64 `json:"mtbf,omitempty"`
+	MTTR  float64 `json:"mttr,omitempty"`
+	Seed  int64   `json:"seed,omitempty"`
+}
+
+// spec validates and converts to the sweep-axis value.
+func (fs FaultSpec) spec() (faults.Spec, error) {
+	var kind faults.Kind
+	switch fs.Kind {
+	case "", "node":
+		kind = faults.KindNode
+	case "coupler":
+		kind = faults.KindCoupler
+	case "tx":
+		kind = faults.KindTransmitter
+	default:
+		return faults.Spec{}, fmt.Errorf("unknown fault kind %q (want node, coupler or tx)", fs.Kind)
+	}
+	if fs.Count < 0 {
+		return faults.Spec{}, fmt.Errorf("fault count %d negative", fs.Count)
+	}
+	if (fs.MTBF > 0) != (fs.MTTR > 0) {
+		return faults.Spec{}, fmt.Errorf("mtbf and mttr must be set together")
+	}
+	return faults.Spec{Kind: kind, Count: fs.Count, Slot: fs.Slot, MTBF: fs.MTBF, MTTR: fs.MTTR, Seed: fs.Seed}, nil
+}
+
+// Grid builds the live sweep.Grid: topologies are constructed and
+// validated (sim.CheckTopology), modes parsed, workloads range-checked
+// against every topology's group structure — the same guards cmd/netsim
+// applies to its flags, so a bad submission is a 4xx, never a panic inside
+// a worker goroutine.
+func (gs GridSpec) Grid() (sweep.Grid, error) {
+	return gs.grid(buildAndCheck)
+}
+
+// buildAndCheck is the default topology constructor: build plus the
+// reachability/sanity validation.
+func buildAndCheck(ts sweep.TopoSpec) (sweep.Topology, error) {
+	topo, err := ts.Build()
+	if err != nil {
+		return sweep.Topology{}, err
+	}
+	if err := sim.CheckTopology(topo.Topo); err != nil {
+		return sweep.Topology{}, err
+	}
+	return topo, nil
+}
+
+// grid is Grid with a pluggable topology constructor, so the server can
+// reuse built (and already validated) topologies across submissions.
+func (gs GridSpec) grid(build func(sweep.TopoSpec) (sweep.Topology, error)) (sweep.Grid, error) {
+	if len(gs.Topologies) == 0 {
+		return sweep.Grid{}, fmt.Errorf("grid names no topologies")
+	}
+	g := sweep.Grid{
+		Rates:       gs.Rates,
+		Seeds:       gs.Seeds,
+		Wavelengths: gs.Wavelengths,
+		MaxQueue:    gs.MaxQueue,
+		Slots:       gs.Slots,
+		Drain:       gs.Drain,
+	}
+	for _, r := range gs.Rates {
+		if r < 0 || r > 1 {
+			return sweep.Grid{}, fmt.Errorf("rate %g not a probability in [0,1]", r)
+		}
+	}
+	for _, w := range gs.Wavelengths {
+		if w < 1 {
+			return sweep.Grid{}, fmt.Errorf("wavelength count %d < 1", w)
+		}
+	}
+	for _, ts := range gs.Topologies {
+		topo, err := build(ts)
+		if err != nil {
+			return sweep.Grid{}, err
+		}
+		g.Topologies = append(g.Topologies, topo)
+	}
+	for _, m := range gs.Modes {
+		switch m {
+		case "sf":
+			g.Modes = append(g.Modes, sweep.StoreAndForward)
+		case "deflect":
+			g.Modes = append(g.Modes, sweep.Deflection)
+		default:
+			return sweep.Grid{}, fmt.Errorf("unknown mode %q (want sf or deflect)", m)
+		}
+	}
+	for _, ws := range gs.Workloads {
+		spec, err := ws.spec()
+		if err != nil {
+			return sweep.Grid{}, err
+		}
+		if spec.Kind == workload.KindHotspot {
+			for _, topo := range g.Topologies {
+				groups := topo.Topo.Nodes()
+				if topo.GroupSize > 1 {
+					groups = topo.Topo.Nodes() / topo.GroupSize
+				}
+				if spec.HotGroup >= groups {
+					return sweep.Grid{}, fmt.Errorf("hotspot hot_group %d out of range (%s has %d groups)",
+						spec.HotGroup, topo.Name, groups)
+				}
+			}
+		}
+		g.Workloads = append(g.Workloads, spec)
+	}
+	for _, fs := range gs.Faults {
+		spec, err := fs.spec()
+		if err != nil {
+			return sweep.Grid{}, err
+		}
+		g.Faults = append(g.Faults, spec)
+	}
+	return g, nil
+}

@@ -1,10 +1,12 @@
 #!/usr/bin/env bash
 # Runs the engine performance benchmarks — the compiled-topology hot path,
-# its frozen legacy-engine baselines, and the large-N O(active) benchmark —
-# and emits BENCH_4.json with ns/op, B/op, allocs/op per benchmark plus the
-# same-machine speedup of the compiled engine over the legacy baseline.
-# This file starts the repo's recorded perf trajectory; later PRs append
-# BENCH_<n>.json snapshots.
+# its frozen legacy-engine baselines, the large-N O(active) benchmark and
+# the PR 5 service-layer pair (cold grid vs warm content-addressed cache) —
+# and emits BENCH_5.json with ns/op, B/op, allocs/op per benchmark plus the
+# same-machine speedups: compiled engine over the legacy baseline, and the
+# warm-cache grid over the cold grid (the service-layer contract is >= 10x).
+# BENCH_<n>.json snapshots accumulate per PR; BENCH_4.json is the previous
+# point of the trajectory.
 #
 # Usage: scripts/bench.sh            # default -benchtime=2s
 #        BENCHTIME=1x scripts/bench.sh   # CI smoke (pipeline check only;
@@ -14,8 +16,8 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BENCHTIME="${BENCHTIME:-2s}"
-OUT="${OUT:-BENCH_4.json}"
-PATTERN='BenchmarkStepAllocFree|BenchmarkT7SimThroughput|BenchmarkT7LegacyEngine|BenchmarkSweepGrid$|BenchmarkSweepGridLegacyEngine|BenchmarkStepLargeN'
+OUT="${OUT:-BENCH_5.json}"
+PATTERN='BenchmarkStepAllocFree|BenchmarkT7SimThroughput|BenchmarkT7LegacyEngine|BenchmarkSweepGrid$|BenchmarkSweepGridLegacyEngine|BenchmarkStepLargeN|BenchmarkSweepCachedGrid'
 
 raw=$(go test -run=NONE -bench="$PATTERN" -benchtime="$BENCHTIME" -benchmem .)
 printf '%s\n' "$raw"
@@ -37,7 +39,7 @@ printf '%s\n' "$raw" | awk -v benchtime="$BENCHTIME" '
 }
 END {
 	printf "{\n"
-	printf "  \"pr\": 4,\n"
+	printf "  \"pr\": 5,\n"
 	printf "  \"benchtime\": \"%s\",\n", benchtime
 	printf "  \"benchmarks\": [\n"
 	for (i = 1; i <= n; i++) {
@@ -49,10 +51,13 @@ END {
 	t7o = lookup["BenchmarkT7LegacyEngine"]
 	swn = lookup["BenchmarkSweepGrid"]
 	swo = lookup["BenchmarkSweepGridLegacyEngine"]
+	swc = lookup["BenchmarkSweepCachedGrid"]
 	printf "  \"speedup_vs_legacy\": {"
 	if (t7n > 0 && t7o > 0) printf "\"BenchmarkT7SimThroughput\": %.2f", t7o / t7n
 	if (swn > 0 && swo > 0) printf ", \"BenchmarkSweepGrid\": %.2f", swo / swn
-	printf "}\n"
+	printf "},\n"
+	printf "  \"warm_cache_speedup\": "
+	if (swn > 0 && swc > 0) printf "%.2f\n", swn / swc; else printf "null\n"
 	printf "}\n"
 }' > "$OUT"
 
