@@ -122,6 +122,7 @@ func main() {
 		modes    = flag.String("modes", "sf", `sweep: comma list of "sf" and/or "deflect"`)
 		waveList = flag.String("waveset", "1", "sweep: comma-separated wavelength counts")
 		workers  = flag.Int("workers", 0, "sweep: worker goroutines (0 = GOMAXPROCS)")
+		replicas = flag.String("replicas", "auto", `sweep: scenarios batched per worker on one replica set ("auto", "off", or a count >= 2); results are bit-for-bit identical either way`)
 		format   = flag.String("format", "table", `sweep output: "table", "csv" or "json"`)
 		raw      = flag.Bool("raw", false, "sweep: emit raw per-seed results instead of the aggregated curve")
 	)
@@ -218,7 +219,7 @@ func main() {
 			burstOn: *burstOn, burstOff: *burstOff, burstLow: *burstLow,
 			rates: *rateList, seeds: *seeds, modes: *modes,
 			waves: *waveList, slots: *slots, drain: *drain, maxQ: *maxQ,
-			seed: *seed, workers: *workers, format: *format, raw: *raw,
+			seed: *seed, workers: *workers, replicas: parseReplicas(*replicas), format: *format, raw: *raw,
 			saturate: *saturate,
 			faultSet: *faultSet, faultKind: *faultKind, faultSlot: *faultSlot,
 			mtbf: *mtbf, mttr: *mttr,
@@ -493,6 +494,7 @@ type sweepOpts struct {
 	slots, drain, maxQ  int
 	seed                int64
 	workers             int
+	replicas            int // sweep.Runner.Replicas (AutoReplicas, 0, or >= 2)
 	format              string
 	raw                 bool
 	saturate            bool
@@ -588,7 +590,7 @@ func runSweep(o sweepOpts) {
 		Faults:      fspecs,
 		Workloads:   wspecs,
 	}
-	runner := sweep.Runner{Workers: o.workers}
+	runner := sweep.Runner{Workers: o.workers, Replicas: o.replicas}
 
 	if o.saturate {
 		printSaturation(runner.Saturate(grid, o.slots, 0.95, o.seed), o.format)
@@ -709,6 +711,7 @@ func runServe(args []string) {
 	addr := fs.String("addr", ":8080", "listen address")
 	cacheDir := fs.String("cachedir", "", "content-addressed result cache directory (empty = in-memory only)")
 	workers := fs.Int("workers", 0, "sweep worker goroutines (0 = GOMAXPROCS)")
+	replicas := fs.String("replicas", "auto", `scenarios batched per worker on one replica set ("auto", "off", or a count >= 2); a grid's "replicas" field overrides`)
 	fs.Parse(args)
 	var cache *sweepcache.Cache
 	if *cacheDir != "" {
@@ -724,7 +727,7 @@ func runServe(args []string) {
 		st := c.Stats()
 		log.Printf("netsim serve: cache %s loaded (%d entries)", *cacheDir, st.Entries)
 	}
-	srv := sweepserver.New(sweep.Runner{Workers: *workers}, cache)
+	srv := sweepserver.New(sweep.Runner{Workers: *workers, Replicas: parseReplicas(*replicas)}, cache)
 	log.Printf("netsim serve: listening on %s (POST /api/v1/sweeps)", *addr)
 	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
 		fmt.Fprintf(os.Stderr, "netsim: %v\n", err)
@@ -794,6 +797,24 @@ func printCurveTable(curve []sweep.CurvePoint) {
 			p.Latency.Mean, p.Latency.Std,
 			p.Hops.Mean, 100*p.DeliveredFrac.Mean)
 	}
+}
+
+// parseReplicas maps the -replicas flag onto sweep.Runner.Replicas:
+// "auto" sizes batches from the grid's stream-sibling families, "off" (or
+// 0/1) keeps per-scenario dispatch, and a count >= 2 pins the batch size.
+func parseReplicas(s string) int {
+	switch strings.TrimSpace(s) {
+	case "auto", "":
+		return sweep.AutoReplicas
+	case "off", "0", "1":
+		return 0
+	}
+	r, err := strconv.Atoi(strings.TrimSpace(s))
+	if err != nil || r < 2 {
+		fmt.Fprintf(os.Stderr, "netsim: bad -replicas %q (want auto, off, or a count >= 2)\n", s)
+		os.Exit(2)
+	}
+	return r
 }
 
 func parseFloats(s string) []float64 {

@@ -57,6 +57,48 @@ func TestDocsBenchmarkNamesExist(t *testing.T) {
 	}
 }
 
+// TestDocsTestNamesExist applies the same drift guard to the Test and
+// Fuzz functions the docs cite as evidence for equivalence claims.
+func TestDocsTestNamesExist(t *testing.T) {
+	defined := map[string]bool{}
+	decl := regexp.MustCompile(`func ((?:Test|Fuzz)[A-Za-z0-9_]+)\(`)
+	err := filepath.WalkDir(".", func(path string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(path, "_test.go") {
+			return err
+		}
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		for _, m := range decl.FindAllStringSubmatch(string(src), -1) {
+			defined[m[1]] = true
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := regexp.MustCompile(`(?:Test|Fuzz)[A-Z][A-Za-z0-9_]*`)
+	for _, doc := range []string{"README.md", "DESIGN.md"} {
+		src, err := os.ReadFile(doc)
+		if err != nil {
+			t.Fatalf("%s: %v", doc, err)
+		}
+		for _, name := range ref.FindAllString(string(src), -1) {
+			ok := false
+			for full := range defined {
+				if strings.HasPrefix(full, name) {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				t.Errorf("%s references %s, which no longer exists", doc, name)
+			}
+		}
+	}
+}
+
 // TestInternalPackagesHaveDocComments keeps every internal package
 // documented: some file of each package must carry a line-start
 // "// Package <name> " doc comment — the exact invariant the CI docs job

@@ -1,15 +1,22 @@
 package sim
 
 // Compiled-topology snapshot: the engine does not call any Topology method
-// inside Step. At construction it compiles the topology into flat arrays —
+// inside Step. At construction the topology is compiled into flat arrays —
 // CSR out-coupler and head lists, one row-major route table with a packed
-// delivers-here bit, and distance rows — and steps over those. Topologies
-// that already maintain the tables in this shape (the stack, point-to-point
-// and fault-wrapped topologies) hand the engine their live backing arrays,
-// so compilation is O(n + m + arcs) and dynamic row repairs done by
-// faults.FaultedTopology are visible to the engine without any copying or
-// invalidation protocol. Arbitrary Topology implementations are compiled by
-// querying the interface once per (u, dst) pair.
+// delivers-here bit, and distance rows — and the step loop reads only
+// those. Topologies that already maintain the tables in this shape (the
+// stack, point-to-point and fault-wrapped topologies) hand the snapshot
+// their live backing arrays, so compilation is O(n + m + arcs) and dynamic
+// row repairs done by faults.FaultedTopology are visible to the engine
+// without any copying or invalidation protocol. Arbitrary Topology
+// implementations are compiled by querying the interface once per (u, dst)
+// pair.
+//
+// The snapshot is its own type, CompiledTopology, because it is immutable
+// between fault events and therefore shareable: a ReplicaSet runs many
+// replicas (independent seeds, loads, workloads) over one compiled base,
+// and only replicas with a private dynamic topology (a fault wrapper)
+// compile a private view.
 
 // deliverFlag marks a RouteEntry whose destination hears the chosen
 // coupler, so delivery needs no head-set scan on the hot path.
@@ -53,7 +60,7 @@ func (r RouteEntry) Delivers() bool { return r.c >= 0 && r.c&deliverFlag != 0 }
 
 // RouteTabled is implemented by topologies that maintain their routing
 // decisions as one flat row-major table (entry for (u, dst) at index
-// u*Nodes()+dst). The engine borrows the returned slice as its hot-path
+// u*Nodes()+dst). The snapshot borrows the returned slice as its hot-path
 // route table instead of copying it, so a dynamic topology that repairs
 // rows in place (faults.FaultedTopology) updates the engine for free. The
 // slice identity must be stable for the topology's lifetime.
@@ -63,51 +70,91 @@ type RouteTabled interface {
 
 // DistanceRowed is implemented by topologies that maintain per-source
 // distance rows (dist[u][dst], digraph.Unreachable = -1 when dst is cut
-// off). The engine borrows the outer slice; dynamic topologies may rewrite
-// row contents in place between slots.
+// off). The snapshot borrows the outer slice; dynamic topologies may
+// rewrite row contents in place between slots.
 type DistanceRowed interface {
 	DistanceRows() [][]int
 }
 
-// compile builds the engine's flat topology snapshot. Dynamic topologies
-// must be in their pristine (Reset) state so the CSR slot capacities cover
-// the largest live structure.
-func (e *Engine) compile(topo Topology) {
+// CompiledTopology is the flat, step-ready form of a Topology: CSR
+// out-coupler and head lists, the row-major route table and the distance
+// rows. It is immutable between topology events, so any number of replicas
+// may share one instance; a replica whose topology is dynamic (fault
+// events) must own a private instance, because events repair the tables in
+// place.
+type CompiledTopology struct {
+	topo Topology
+	n, m int
+
+	outStart  []int32 // node u transmits on outList[outStart[u]:outStart[u]+outCount[u]]
+	outCount  []int32
+	outList   []int32
+	headStart []int32 // coupler c is heard by headList[headStart[c]:headStart[c]+headCount[c]]
+	headCount []int32
+	headList  []int32
+	route     []RouteEntry // row-major (u, dst) routing decisions
+	dist      [][]int      // dist[u][dst] for deflection choices
+	ownsRoute bool
+	ownsDist  bool
+
+	// dirty records that a topology event mutated the snapshot since the
+	// last sync, so a Reset recompiles only when something actually changed.
+	dirty bool
+}
+
+// Compile builds the flat snapshot of a topology. A topology that also
+// implements DynamicTopology is reset to its pre-event state first, so the
+// snapshot covers the full (pristine) structure and the CSR slot
+// capacities fit the largest live structure.
+func Compile(topo Topology) *CompiledTopology {
+	if dyn, ok := topo.(DynamicTopology); ok {
+		dyn.Reset()
+	}
 	n, m := topo.Nodes(), topo.Couplers()
-	e.n, e.m = n, m
-	e.outStart = make([]int32, n+1)
+	ct := &CompiledTopology{topo: topo, n: n, m: m}
+	ct.outStart = make([]int32, n+1)
 	for u := 0; u < n; u++ {
-		e.outStart[u+1] = e.outStart[u] + int32(len(topo.OutCouplers(u)))
+		ct.outStart[u+1] = ct.outStart[u] + int32(len(topo.OutCouplers(u)))
 	}
-	e.outCount = make([]int32, n)
-	e.outList = make([]int32, e.outStart[n])
-	e.headStart = make([]int32, m+1)
+	ct.outCount = make([]int32, n)
+	ct.outList = make([]int32, ct.outStart[n])
+	ct.headStart = make([]int32, m+1)
 	for c := 0; c < m; c++ {
-		e.headStart[c+1] = e.headStart[c] + int32(len(topo.Heads(c)))
+		ct.headStart[c+1] = ct.headStart[c] + int32(len(topo.Heads(c)))
 	}
-	e.headCount = make([]int32, m)
-	e.headList = make([]int32, e.headStart[m])
-	e.refreshStructure()
+	ct.headCount = make([]int32, m)
+	ct.headList = make([]int32, ct.headStart[m])
+	ct.refreshStructure()
 
 	if rt, ok := topo.(RouteTabled); ok {
-		e.route = rt.RouteTable()
+		ct.route = rt.RouteTable()
 	} else {
-		e.ownsRoute = true
-		e.route = make([]RouteEntry, n*n)
-		e.rebuildOwnedRoute()
+		ct.ownsRoute = true
+		ct.route = make([]RouteEntry, n*n)
+		ct.rebuildOwnedRoute()
 	}
 	if dr, ok := topo.(DistanceRowed); ok {
-		e.dist = dr.DistanceRows()
+		ct.dist = dr.DistanceRows()
 	} else {
-		e.ownsDist = true
+		ct.ownsDist = true
 		flat := make([]int, n*n)
-		e.dist = make([][]int, n)
+		ct.dist = make([][]int, n)
 		for u := 0; u < n; u++ {
-			e.dist[u] = flat[u*n : (u+1)*n : (u+1)*n]
+			ct.dist[u] = flat[u*n : (u+1)*n : (u+1)*n]
 		}
-		e.rebuildOwnedDist()
+		ct.rebuildOwnedDist()
 	}
+	return ct
 }
+
+// Nodes returns the compiled node count.
+func (ct *CompiledTopology) Nodes() int { return ct.n }
+
+// Couplers returns the compiled coupler count.
+func (ct *CompiledTopology) Couplers() int { return ct.m }
+
+// Topology returns the topology the snapshot was compiled from.
+func (ct *CompiledTopology) Topology() Topology { return ct.topo }
 
 // refreshStructure copies the topology's current out-coupler and head sets
 // into the CSR arrays. Called at compile time and again after every
@@ -115,74 +162,74 @@ func (e *Engine) compile(topo Topology) {
 // normally stay within the capacity reserved at compile time (fault masks
 // only shrink them); if an exotic dynamic topology outgrows a slot, the
 // CSR is re-laid-out.
-func (e *Engine) refreshStructure() {
-	for u := 0; u < e.n; u++ {
-		oc := e.topo.OutCouplers(u)
-		if int32(len(oc)) > e.outStart[u+1]-e.outStart[u] {
-			e.relayoutOut()
+func (ct *CompiledTopology) refreshStructure() {
+	for u := 0; u < ct.n; u++ {
+		oc := ct.topo.OutCouplers(u)
+		if int32(len(oc)) > ct.outStart[u+1]-ct.outStart[u] {
+			ct.relayoutOut()
 			return
 		}
-		base := e.outStart[u]
+		base := ct.outStart[u]
 		for i, c := range oc {
-			e.outList[base+int32(i)] = int32(c)
+			ct.outList[base+int32(i)] = int32(c)
 		}
-		e.outCount[u] = int32(len(oc))
+		ct.outCount[u] = int32(len(oc))
 	}
-	for c := 0; c < e.m; c++ {
-		hs := e.topo.Heads(c)
-		if int32(len(hs)) > e.headStart[c+1]-e.headStart[c] {
-			e.relayoutHeads()
+	for c := 0; c < ct.m; c++ {
+		hs := ct.topo.Heads(c)
+		if int32(len(hs)) > ct.headStart[c+1]-ct.headStart[c] {
+			ct.relayoutHeads()
 			return
 		}
-		base := e.headStart[c]
+		base := ct.headStart[c]
 		for i, h := range hs {
-			e.headList[base+int32(i)] = int32(h)
+			ct.headList[base+int32(i)] = int32(h)
 		}
-		e.headCount[c] = int32(len(hs))
+		ct.headCount[c] = int32(len(hs))
 	}
 }
 
 // relayoutOut rebuilds the out-coupler CSR with fresh slot capacities, then
 // retries the full refresh.
-func (e *Engine) relayoutOut() {
-	for u := 0; u < e.n; u++ {
-		e.outStart[u+1] = e.outStart[u] + int32(len(e.topo.OutCouplers(u)))
+func (ct *CompiledTopology) relayoutOut() {
+	for u := 0; u < ct.n; u++ {
+		ct.outStart[u+1] = ct.outStart[u] + int32(len(ct.topo.OutCouplers(u)))
 	}
-	e.outList = make([]int32, e.outStart[e.n])
-	e.refreshStructure()
+	ct.outList = make([]int32, ct.outStart[ct.n])
+	ct.refreshStructure()
 }
 
 // relayoutHeads is the head-list counterpart of relayoutOut.
-func (e *Engine) relayoutHeads() {
-	for c := 0; c < e.m; c++ {
-		e.headStart[c+1] = e.headStart[c] + int32(len(e.topo.Heads(c)))
+func (ct *CompiledTopology) relayoutHeads() {
+	for c := 0; c < ct.m; c++ {
+		ct.headStart[c+1] = ct.headStart[c] + int32(len(ct.topo.Heads(c)))
 	}
-	e.headList = make([]int32, e.headStart[e.m])
-	e.refreshStructure()
+	ct.headList = make([]int32, ct.headStart[ct.m])
+	ct.refreshStructure()
 }
 
-// rebuildOwnedRoute recompiles the engine-owned route table by querying the
-// Topology interface once per (u, dst) pair. The delivers-here bit is the
-// exact head-set membership the legacy engine tested per transmission:
+// rebuildOwnedRoute recompiles the snapshot-owned route table by querying
+// the Topology interface once per (u, dst) pair. The delivers-here bit is
+// the exact head-set membership the legacy engine tested per transmission:
 // dst ∈ Heads(chosen coupler).
-func (e *Engine) rebuildOwnedRoute() {
+func (ct *CompiledTopology) rebuildOwnedRoute() {
 	// hears[c] marks, for the current dst, the couplers dst listens on.
-	hears := make([]bool, e.m)
-	heardBy := make([][]int32, e.n)
-	for c := 0; c < e.m; c++ {
-		base, cnt := e.headStart[c], e.headCount[c]
+	hears := make([]bool, ct.m)
+	heardBy := make([][]int32, ct.n)
+	for c := 0; c < ct.m; c++ {
+		base, cnt := ct.headStart[c], ct.headCount[c]
 		for hi := base; hi < base+cnt; hi++ {
-			h := int(e.headList[hi])
+			h := int(ct.headList[hi])
 			heardBy[h] = append(heardBy[h], int32(c))
 		}
 	}
-	for dst := 0; dst < e.n; dst++ {
+	for dst := 0; dst < ct.n; dst++ {
 		for _, c := range heardBy[dst] {
 			hears[c] = true
 		}
-		for u := 0; u < e.n; u++ {
-			c, hop := e.topo.NextCoupler(u, dst)
-			e.route[u*e.n+dst] = MakeRouteEntry(c, hop, c >= 0 && c < e.m && hears[c])
+		for u := 0; u < ct.n; u++ {
+			c, hop := ct.topo.NextCoupler(u, dst)
+			ct.route[u*ct.n+dst] = MakeRouteEntry(c, hop, c >= 0 && c < ct.m && hears[c])
 		}
 		for _, c := range heardBy[dst] {
 			hears[c] = false
@@ -190,12 +237,12 @@ func (e *Engine) rebuildOwnedRoute() {
 	}
 }
 
-// rebuildOwnedDist refills the engine-owned distance rows in place.
-func (e *Engine) rebuildOwnedDist() {
-	for u := 0; u < e.n; u++ {
-		row := e.dist[u]
-		for v := 0; v < e.n; v++ {
-			row[v] = e.topo.Distance(u, v)
+// rebuildOwnedDist refills the snapshot-owned distance rows in place.
+func (ct *CompiledTopology) rebuildOwnedDist() {
+	for u := 0; u < ct.n; u++ {
+		row := ct.dist[u]
+		for v := 0; v < ct.n; v++ {
+			row[v] = ct.topo.Distance(u, v)
 		}
 	}
 }
@@ -204,13 +251,13 @@ func (e *Engine) rebuildOwnedDist() {
 // tables (the RouteTabled / DistanceRowed fast path) were already repaired
 // in place by the topology — faults.FaultedTopology rebuilds exactly the
 // rows its EntryChanged/RowsRebuilt machinery flags — so only the CSR
-// structure needs copying; engine-owned tables are recompiled wholesale.
-func (e *Engine) recompileDynamic() {
-	e.refreshStructure()
-	if e.ownsRoute {
-		e.rebuildOwnedRoute()
+// structure needs copying; snapshot-owned tables are recompiled wholesale.
+func (ct *CompiledTopology) recompileDynamic() {
+	ct.refreshStructure()
+	if ct.ownsRoute {
+		ct.rebuildOwnedRoute()
 	}
-	if e.ownsDist {
-		e.rebuildOwnedDist()
+	if ct.ownsDist {
+		ct.rebuildOwnedDist()
 	}
 }

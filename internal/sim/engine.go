@@ -105,28 +105,37 @@ func (m Metrics) String() string {
 	return s
 }
 
-// Engine simulates a Topology slot by slot over a compiled snapshot of it
-// (see compiled.go): inside Step there are no Topology interface calls —
-// routing is one load from a flat table whose delivers-here bit replaces
-// the per-transmission head-set scan, and the coupler structure is read
-// from CSR arrays. Steady-state slot cost is O(active nodes + touched
+// replica is the mutable half of a simulation: queues, cursors, scratch,
+// metrics and the slot clock, stepping over an immutable CompiledTopology.
+// It is the one engine core — Engine wraps exactly one replica, and
+// ReplicaSet runs R of them (with slab-allocated state) over a shared
+// snapshot. Inside step there are no Topology interface calls — routing is
+// one load from a flat table whose delivers-here bit replaces the
+// per-transmission head-set scan, and the coupler structure is read from
+// CSR arrays. Steady-state slot cost is O(active nodes + touched
 // couplers), not O(N + M): nodes with queued traffic live on an active
 // list, and only couplers that saw a request or grant this slot are
 // arbitrated, transmitted and cleared. The hot path is allocation-free
-// once scratch high-water marks are reached, and Reset re-arms the engine
+// once scratch high-water marks are reached, and reset re-arms the replica
 // for another scenario without reallocating any of it.
-type Engine struct {
-	topo Topology
-	cfg  Config
-	rng  *rand.Rand
+type replica struct {
+	// ct is the compiled snapshot this replica steps over; the fields below
+	// through dist are aliases of its arrays, re-synced after topology
+	// events (syncTables). Keeping local slice headers keeps the hot path
+	// one indirection flat, exactly as when the arrays lived on the engine.
+	ct *CompiledTopology
+
+	cfg Config
+	// rng drives traffic generation in run; replicas inside a ReplicaSet
+	// draw from their stream group's RNG instead and may leave this nil.
+	rng *rand.Rand
 	// rngSeededFor dedups re-seeding: seeding regenerates the full
-	// math/rand state vector, so Reset skips it when the RNG is already
+	// math/rand state vector, so reset skips it when the RNG is already
 	// virgin for the requested seed (the NewEngine-then-Run path).
 	rngSeededFor int64
 	rngVirgin    bool
 
-	// Compiled topology snapshot (compiled.go). route and dist are borrowed
-	// from RouteTabled / DistanceRowed topologies, engine-owned otherwise.
+	// Compiled topology aliases (see ct).
 	n, m      int
 	outStart  []int32 // node u transmits on outList[outStart[u]:outStart[u]+outCount[u]]
 	outCount  []int32
@@ -136,8 +145,6 @@ type Engine struct {
 	headList  []int32
 	route     []RouteEntry // row-major (u, dst) routing decisions
 	dist      [][]int      // dist[u][dst] for deflection choices
-	ownsRoute bool
-	ownsDist  bool
 
 	queues []ring
 	// rr holds per-coupler round-robin grant cursors for fairness.
@@ -185,39 +192,44 @@ type Engine struct {
 	bestKey   []int32
 	grantSlot []txRequest
 	keys      []int       // arbitration scratch: round-robin sort keys
-	injBuf    []Injection // Run's traffic-generation scratch
+	injBuf    []Injection // run's traffic-generation scratch
 
 	// dyn is non-nil when the topology injects fault/repair events; the
-	// engine polls it for changes at the top of every Step. dynDirty
-	// records that an event actually fired since the last Reset, so Reset
-	// only re-syncs the compiled snapshot when something changed.
-	dyn      DynamicTopology
-	dynDirty bool
+	// replica polls it for changes at the top of every step. An event marks
+	// the compiled snapshot dirty (ct.dirty), so reset only re-syncs it
+	// when something changed.
+	dyn DynamicTopology
 	// Recovery tracking: while recovering, backlog has not yet returned to
 	// recoverBaseline (its level right after the disrupting event).
 	recovering      bool
 	recoverStart    int
 	recoverBaseline int
 
-	// OnDeliver, when non-nil, is invoked for every delivered message with
-	// its final hop count and the delivery slot. It lets experiments record
-	// per-(src,dst) path lengths — e.g. to cross-check the §2.5 fault bound
-	// against kautz.RouteAvoiding — without burdening Metrics.
-	OnDeliver func(msg Message, slot int)
+	// onDeliver mirrors Engine.OnDeliver (and ReplicaSpec.OnDeliver):
+	// invoked per delivered message with its final hop count and slot.
+	onDeliver func(msg Message, slot int)
 }
 
-// NewEngine compiles the topology and prepares a simulation over it. A
-// topology that also implements DynamicTopology (e.g.
-// faults.FaultedTopology) is reset to its pre-event state — so the
-// compiled snapshot covers the full (pristine) structure — and polled for
-// fault events every Step.
-func NewEngine(topo Topology, cfg Config) *Engine {
-	e := &Engine{topo: topo, rng: rand.New(rand.NewSource(cfg.Seed)), rngSeededFor: cfg.Seed, rngVirgin: true}
-	if dyn, ok := topo.(DynamicTopology); ok {
-		dyn.Reset()
-		e.dyn = dyn
-	}
-	e.compile(topo)
+// attach points the replica at a compiled snapshot.
+func (e *replica) attach(ct *CompiledTopology) {
+	e.ct = ct
+	e.n, e.m = ct.n, ct.m
+	e.syncTables()
+}
+
+// syncTables re-reads the table aliases from the snapshot. Needed after
+// any recompile, because an exotic relayout may reallocate the CSR lists.
+func (e *replica) syncTables() {
+	ct := e.ct
+	e.outStart, e.outCount, e.outList = ct.outStart, ct.outCount, ct.outList
+	e.headStart, e.headCount, e.headList = ct.headStart, ct.headCount, ct.headList
+	e.route, e.dist = ct.route, ct.dist
+}
+
+// allocState allocates the replica's private per-node/per-coupler state
+// (the Engine path; ReplicaSet carves the same fields out of shared
+// slabs instead).
+func (e *replica) allocState() {
 	e.queues = make([]ring, e.n)
 	e.rr = make([]int32, e.m)
 	e.byCoupler = make([][]int32, e.m)
@@ -229,19 +241,17 @@ func NewEngine(topo Topology, cfg Config) *Engine {
 	e.grantSlot = make([]txRequest, e.m)
 	e.activePos = make([]int32, e.n)
 	e.headReq = make([]txRequest, e.n)
-	e.Reset(cfg)
-	return e
 }
 
-// Reset re-arms the engine for a fresh scenario under cfg: queues, cursors,
-// metrics, the RNG and the slot clock return to their initial state while
-// every buffer (rings, scratch, compiled snapshot) keeps its capacity, so
-// repeated scenarios on one engine allocate nothing. A run after Reset is
-// bit-for-bit identical to a run on a newly constructed engine. Dynamic
-// topologies are rewound to their pre-event state.
-func (e *Engine) Reset(cfg Config) {
+// reset re-arms the replica for a fresh scenario under cfg: queues,
+// cursors, metrics, the RNG and the slot clock return to their initial
+// state while every buffer (rings, scratch, compiled snapshot) keeps its
+// capacity, so repeated scenarios on one replica allocate nothing. A run
+// after reset is bit-for-bit identical to a run on a newly constructed
+// engine. Dynamic topologies are rewound to their pre-event state.
+func (e *replica) reset(cfg Config) {
 	e.cfg = cfg
-	if !e.rngVirgin || e.rngSeededFor != cfg.Seed {
+	if e.rng != nil && (!e.rngVirgin || e.rngSeededFor != cfg.Seed) {
 		e.rng.Seed(cfg.Seed)
 		e.rngSeededFor = cfg.Seed
 		e.rngVirgin = true
@@ -259,7 +269,7 @@ func (e *Engine) Reset(cfg Config) {
 		e.activePos[i] = -1
 	}
 	e.active = e.active[:0]
-	// Step leaves byCoupler/granted empty and the touched bitmap zero;
+	// step leaves byCoupler/granted empty and the touched bitmap zero;
 	// clearing the bitmap here is defense against a hypothetical aborted
 	// slot, not a per-scenario cost that matters.
 	for i := range e.touched {
@@ -274,17 +284,18 @@ func (e *Engine) Reset(cfg Config) {
 	e.recovering = false
 	if e.dyn != nil {
 		e.dyn.Reset()
-		if e.dynDirty {
-			e.recompileDynamic()
-			e.dynDirty = false
+		if e.ct.dirty {
+			e.ct.recompileDynamic()
+			e.ct.dirty = false
+			e.syncTables()
 		}
 	}
 }
 
-// Metrics returns a snapshot of the accumulated metrics, with Backlog and
-// Slots refreshed. Backlog is tracked incrementally, so this is O(1). A
-// recovery still in progress contributes its elapsed slots.
-func (e *Engine) Metrics() Metrics {
+// metricsSnapshot returns the accumulated metrics, with Backlog and Slots
+// refreshed. Backlog is tracked incrementally, so this is O(1). A recovery
+// still in progress contributes its elapsed slots.
+func (e *replica) metricsSnapshot() Metrics {
 	m := e.metrics
 	m.Slots = e.slot
 	m.Backlog = e.backlog
@@ -294,12 +305,8 @@ func (e *Engine) Metrics() Metrics {
 	return m
 }
 
-// Backlog returns the number of currently queued messages, O(1). Drain
-// loops test it directly instead of materializing a Metrics copy per slot.
-func (e *Engine) Backlog() int { return e.backlog }
-
-// Inject enqueues a message at its source, honoring MaxQueue.
-func (e *Engine) Inject(src, dst int) {
+// inject enqueues a message at its source, honoring MaxQueue.
+func (e *replica) inject(src, dst int) {
 	if src == dst {
 		return
 	}
@@ -308,7 +315,7 @@ func (e *Engine) Inject(src, dst int) {
 	e.nextID++
 }
 
-func (e *Engine) enqueue(node int, msg qmsg) {
+func (e *replica) enqueue(node int, msg qmsg) {
 	q := &e.queues[node]
 	if e.cfg.MaxQueue > 0 && q.len() >= e.cfg.MaxQueue {
 		e.metrics.Dropped++
@@ -328,7 +335,7 @@ func (e *Engine) enqueue(node int, msg qmsg) {
 
 // computeHeadReq refreshes node's precompiled head-of-line request from
 // the route table; dst is the head message's destination.
-func (e *Engine) computeHeadReq(node int, dst int32) {
+func (e *replica) computeHeadReq(node int, dst int32) {
 	r := e.route[node*e.n+int(dst)]
 	if r.c < 0 {
 		e.headReq[node] = txRequest{node: int32(node), coupler: -1}
@@ -344,7 +351,7 @@ func (e *Engine) computeHeadReq(node int, dst int32) {
 // keeps backlog and the active list in sync. The emptied-queue bookkeeping
 // lives in deactivate so dropFront stays within the inlining budget of the
 // Phase 4 loop.
-func (e *Engine) dropFront(node int) {
+func (e *replica) dropFront(node int) {
 	e.backlog--
 	q := &e.queues[node]
 	q.head++
@@ -360,7 +367,7 @@ func (e *Engine) dropFront(node int) {
 }
 
 // deactivate swap-removes a now-idle node from the active list, O(1).
-func (e *Engine) deactivate(node int) {
+func (e *replica) deactivate(node int) {
 	p := e.activePos[node]
 	last := int32(len(e.active) - 1)
 	moved := e.active[last]
@@ -370,7 +377,7 @@ func (e *Engine) deactivate(node int) {
 	e.activePos[node] = -1
 }
 
-// Step advances the simulation by one slot: fault events, arbitration,
+// step advances the simulation by one slot: fault events, arbitration,
 // transmission, delivery or relay. No Topology interface calls and no
 // allocations happen here in steady state; per-slot work is proportional
 // to the active nodes and touched couplers (plus an O(M/64 + N/64)
@@ -378,7 +385,7 @@ func (e *Engine) deactivate(node int) {
 // the paper's networks — takes a fused arbitration path with no
 // per-request list bookkeeping at all; multi-wavelength couplers go
 // through the general candidate-sorting path.
-func (e *Engine) Step() {
+func (e *replica) step() {
 	// Phase 0: apply fault/repair events scheduled for this slot, purging
 	// queues stranded on failed nodes and counting re-routed messages.
 	if e.dyn != nil {
@@ -404,7 +411,7 @@ func (e *Engine) Step() {
 // over each coupler's candidates by round-robin key, so Phase 1 folds it
 // in incrementally: each coupler keeps one tentative grant (grantSlot,
 // gated by the touched bitmap), and no request or candidate list is built.
-func (e *Engine) stepSingleWavelength() {
+func (e *replica) stepSingleWavelength() {
 	// Phase 1 + 2a: requests with incremental per-coupler arbitration. The
 	// active list replaces the full O(N) queue scan; its order is
 	// irrelevant because the argmin and every later phase order their own
@@ -540,7 +547,7 @@ func (e *Engine) stepSingleWavelength() {
 // stepMultiWavelength is the general W > 1 path: each touched coupler
 // collects its full candidate list, sorts it by precomputed round-robin
 // keys and grants the first W senders.
-func (e *Engine) stepMultiWavelength() {
+func (e *replica) stepMultiWavelength() {
 	// Phase 1: each node with a queued message requests the coupler its
 	// precompiled route entry names for the head-of-line message.
 	e.requests = e.requests[:0]
@@ -670,9 +677,9 @@ func (e *Engine) stepMultiWavelength() {
 // deflectTarget scans coupler c's compiled head set for the live head
 // closest to dst (the deflection target), reporting whether dst itself
 // hears the coupler. bestHop is -1 when no head has a live path to dst.
-// Shared by both Step paths so the deflection tie-breaking, the delivers
+// Shared by both step paths so the deflection tie-breaking, the delivers
 // check and the d >= 0 liveness guard cannot drift apart.
-func (e *Engine) deflectTarget(c, dst int) (bestHop int32, delivers bool) {
+func (e *replica) deflectTarget(c, dst int) (bestHop int32, delivers bool) {
 	bestHop, bestDist := int32(-1), 1<<30
 	hb, hc := e.headStart[c], e.headCount[c]
 	for hi := hb; hi < hb+hc; hi++ {
@@ -692,7 +699,7 @@ func (e *Engine) deflectTarget(c, dst int) (bestHop int32, delivers bool) {
 // head-of-line message, which is delivered if the destination hears the
 // coupler (the precompiled delivers bit) and relayed to the chosen next
 // hop otherwise.
-func (e *Engine) transmit(r txRequest) {
+func (e *replica) transmit(r txRequest) {
 	src := int(r.node)
 	msg := e.queues[src].front()
 	if r.delivers {
@@ -701,8 +708,8 @@ func (e *Engine) transmit(r txRequest) {
 		e.metrics.Delivered++
 		e.metrics.TotalLatency += e.slot + 1 - int(msg.born)
 		e.metrics.TotalHops += hops
-		if e.OnDeliver != nil {
-			e.OnDeliver(Message{
+		if e.onDeliver != nil {
+			e.onDeliver(Message{
 				ID: int(msg.id), Src: int(msg.src), Dst: int(msg.dst),
 				Born: int(msg.born), Hops: hops,
 			}, e.slot+1)
@@ -727,8 +734,8 @@ func (e *Engine) transmit(r txRequest) {
 // with table routing they silently follow the new path at their next
 // transmission (messages left without any route are not reroutes; they
 // surface as Unroutable when they reach the head of their queue).
-func (e *Engine) applyTopologyChange(ch TopologyChange) {
-	e.dynDirty = true
+func (e *replica) applyTopologyChange(ch TopologyChange) {
+	e.ct.dirty = true
 	disrupted := false
 	for _, u := range ch.FailedNodes {
 		for e.queues[u].len() > 0 {
@@ -738,12 +745,20 @@ func (e *Engine) applyTopologyChange(ch TopologyChange) {
 			disrupted = true
 		}
 	}
-	e.recompileDynamic()
-	// Refresh the precompiled head-of-line requests: any active head may
-	// have been rerouted (or cut off) by the event.
+	e.ct.recompileDynamic()
+	e.syncTables()
+	// Refresh the precompiled head-of-line requests. Only heads whose
+	// route row the event actually invalidated need recomputing: for an
+	// unchanged (u, dst) entry the recompute is the identity, so the
+	// per-entry change mask (EntryChanged, backed by the fault layer's
+	// row-invalidation bitmap) lets untouched requests stand. With no mask
+	// every active head is refreshed.
 	for _, ui := range e.active {
 		u := int(ui)
-		e.computeHeadReq(u, e.queues[u].front().dst)
+		dst := e.queues[u].front().dst
+		if ch.EntryChanged == nil || ch.EntryChanged(u, int(dst)) {
+			e.computeHeadReq(u, dst)
+		}
 	}
 	if ch.EntryChanged != nil {
 		// Only active nodes hold queued messages; order does not matter for
@@ -777,6 +792,126 @@ func (e *Engine) applyTopologyChange(ch TopologyChange) {
 	e.recoverBaseline = e.backlog
 }
 
+// run resets the replica with cfg and executes a full scenario on it:
+// `slots` slots of traffic generation plus up to `drain` extra slots to
+// let queues empty, returning the metrics.
+func (e *replica) run(traffic Traffic, slots, drain int, cfg Config) Metrics {
+	e.reset(cfg)
+	e.rngVirgin = false // the generation loop draws from the RNG
+	if ur, ok := traffic.(UniformRater); ok {
+		e.runUniform(ur.UniformRate(), slots)
+	} else {
+		for s := 0; s < slots; s++ {
+			e.injBuf = traffic.Generate(e.injBuf[:0], s, e.n, e.rng)
+			for _, inj := range e.injBuf {
+				e.inject(inj.Src, inj.Dst)
+			}
+			e.step()
+		}
+	}
+	for s := 0; s < drain && e.backlog > 0; s++ {
+		e.step()
+	}
+	return e.metricsSnapshot()
+}
+
+// runUniform is run's fused generation loop for uniform Bernoulli traffic
+// (UniformRater): the RNG consumption sequence is exactly
+// UniformTraffic.Generate followed by Inject calls — so runs are
+// bit-for-bit identical — without materializing the Injection buffer.
+func (e *replica) runUniform(rate float64, slots int) {
+	n, rng := e.n, e.rng
+	for s := 0; s < slots; s++ {
+		for u := 0; u < n; u++ {
+			if rng.Float64() < rate {
+				dst := rng.Intn(n - 1)
+				if dst >= u {
+					dst++ // skip self, as the uniform model does
+				}
+				e.metrics.Injected++
+				e.enqueue(u, qmsg{id: int32(e.nextID), src: int32(u), dst: int32(dst), born: int32(e.slot)})
+				e.nextID++
+			}
+		}
+		e.step()
+	}
+}
+
+// finished reports whether a scenario of `slots` generation slots and
+// `drain` drain budget is complete: the generation phase has run and
+// either the backlog emptied or the drain budget is spent. This is
+// exactly the loop exit condition of run, checked before each step, so
+// ReplicaSet retirement matches solo runs slot for slot.
+func (e *replica) finished(slots, drain int) bool {
+	return e.slot >= slots && (e.backlog == 0 || e.slot >= slots+drain)
+}
+
+// Engine simulates a Topology slot by slot: the single-replica wrapper
+// around the replica core, owning a private CompiledTopology. See
+// ReplicaSet for running many replicas over one shared snapshot; both
+// paths execute the identical step code.
+type Engine struct {
+	replica
+
+	// OnDeliver, when non-nil, is invoked for every delivered message with
+	// its final hop count and the delivery slot. It lets experiments record
+	// per-(src,dst) path lengths — e.g. to cross-check the §2.5 fault bound
+	// against kautz.RouteAvoiding — without burdening Metrics.
+	OnDeliver func(msg Message, slot int)
+}
+
+// NewEngine compiles the topology and prepares a simulation over it. A
+// topology that also implements DynamicTopology (e.g.
+// faults.FaultedTopology) is reset to its pre-event state — so the
+// compiled snapshot covers the full (pristine) structure — and polled for
+// fault events every Step.
+func NewEngine(topo Topology, cfg Config) *Engine {
+	e := &Engine{}
+	e.rng = rand.New(rand.NewSource(cfg.Seed))
+	e.rngSeededFor = cfg.Seed
+	e.rngVirgin = true
+	e.attach(Compile(topo))
+	if dyn, ok := topo.(DynamicTopology); ok {
+		e.dyn = dyn
+	}
+	e.allocState()
+	e.Reset(cfg)
+	return e
+}
+
+// Reset re-arms the engine for a fresh scenario under cfg; see
+// replica.reset. A run after Reset is bit-for-bit identical to a run on a
+// newly constructed engine.
+func (e *Engine) Reset(cfg Config) { e.reset(cfg) }
+
+// Metrics returns a snapshot of the accumulated metrics, with Backlog and
+// Slots refreshed; O(1).
+func (e *Engine) Metrics() Metrics { return e.metricsSnapshot() }
+
+// Backlog returns the number of currently queued messages, O(1). Drain
+// loops test it directly instead of materializing a Metrics copy per slot.
+func (e *Engine) Backlog() int { return e.backlog }
+
+// Inject enqueues a message at its source, honoring MaxQueue.
+func (e *Engine) Inject(src, dst int) { e.inject(src, dst) }
+
+// Step advances the simulation by one slot; see replica.step.
+func (e *Engine) Step() {
+	e.onDeliver = e.OnDeliver
+	e.step()
+}
+
+// Run resets the engine with cfg and executes a full scenario on it:
+// `slots` slots of traffic generation plus up to `drain` extra slots to
+// let queues empty, returning the metrics. All scratch — including the
+// traffic-generation buffer — lives on the engine, so a warmed engine runs
+// whole scenarios without allocating; results are bit-for-bit identical to
+// sim.Run on a fresh engine.
+func (e *Engine) Run(traffic Traffic, slots, drain int, cfg Config) Metrics {
+	e.onDeliver = e.OnDeliver
+	return e.run(traffic, slots, drain, cfg)
+}
+
 // txRequest is one node's wish to drive one coupler toward one next hop.
 // delivers carries the precompiled delivers-here bit so Phase 4 never
 // scans a head set.
@@ -807,54 +942,6 @@ func sortByRRKey(idxs []int32, keys []int) {
 			idxs[b], idxs[b-1] = idxs[b-1], idxs[b]
 			keys[b], keys[b-1] = keys[b-1], keys[b]
 		}
-	}
-}
-
-// Run resets the engine with cfg and executes a full scenario on it:
-// `slots` slots of traffic generation plus up to `drain` extra slots to
-// let queues empty, returning the metrics. All scratch — including the
-// traffic-generation buffer — lives on the engine, so a warmed engine runs
-// whole scenarios without allocating; results are bit-for-bit identical to
-// sim.Run on a fresh engine.
-func (e *Engine) Run(traffic Traffic, slots, drain int, cfg Config) Metrics {
-	e.Reset(cfg)
-	e.rngVirgin = false // the generation loop draws from the RNG
-	if ur, ok := traffic.(UniformRater); ok {
-		e.runUniform(ur.UniformRate(), slots)
-	} else {
-		for s := 0; s < slots; s++ {
-			e.injBuf = traffic.Generate(e.injBuf[:0], s, e.n, e.rng)
-			for _, inj := range e.injBuf {
-				e.Inject(inj.Src, inj.Dst)
-			}
-			e.Step()
-		}
-	}
-	for s := 0; s < drain && e.backlog > 0; s++ {
-		e.Step()
-	}
-	return e.Metrics()
-}
-
-// runUniform is Run's fused generation loop for uniform Bernoulli traffic
-// (UniformRater): the RNG consumption sequence is exactly
-// UniformTraffic.Generate followed by Inject calls — so runs are
-// bit-for-bit identical — without materializing the Injection buffer.
-func (e *Engine) runUniform(rate float64, slots int) {
-	n, rng := e.n, e.rng
-	for s := 0; s < slots; s++ {
-		for u := 0; u < n; u++ {
-			if rng.Float64() < rate {
-				dst := rng.Intn(n - 1)
-				if dst >= u {
-					dst++ // skip self, as the uniform model does
-				}
-				e.metrics.Injected++
-				e.enqueue(u, qmsg{id: int32(e.nextID), src: int32(u), dst: int32(dst), born: int32(e.slot)})
-				e.nextID++
-			}
-		}
-		e.Step()
 	}
 }
 

@@ -1,0 +1,207 @@
+package sim_test
+
+// Deterministic ReplicaSet tests for the divergence edge cases a batch
+// must survive: replicas retiring at different slots, a replica running
+// fully idle (empty active list) while its siblings saturate, per-replica
+// fault events invalidating route rows mid-batch, and warm re-arming
+// across batches. Each test pins batched results against solo Engine runs
+// — the bit-for-bit contract the fuzz target checks at scale.
+
+import (
+	"testing"
+
+	"otisnet/internal/faults"
+	"otisnet/internal/sim"
+	"otisnet/internal/stackkautz"
+)
+
+func rsTestTopology() sim.Topology {
+	return sim.NewStackTopology(stackkautz.New(2, 3, 2).StackGraph())
+}
+
+// soloRun executes one scenario on a fresh Engine, returning metrics and
+// the delivery stream.
+func soloRun(t *testing.T, topo sim.Topology, tr sim.Traffic, slots, drain int, cfg sim.Config) (sim.Metrics, []sim.Message) {
+	t.Helper()
+	eng := sim.NewEngine(topo, cfg)
+	var got []sim.Message
+	eng.OnDeliver = func(m sim.Message, slot int) { got = append(got, m) }
+	return eng.Run(tr, slots, drain, cfg), got
+}
+
+// checkReplica asserts replica i of a finished batch matches its solo run.
+func checkReplica(t *testing.T, rs *sim.ReplicaSet, i int, want sim.Metrics, wantDeliv, gotDeliv []sim.Message) {
+	t.Helper()
+	if got := rs.Metrics(i); got != want {
+		t.Errorf("replica %d metrics diverged\nbatched %v\nsolo    %v", i, got, want)
+	}
+	if len(gotDeliv) != len(wantDeliv) {
+		t.Fatalf("replica %d: %d deliveries batched vs %d solo", i, len(gotDeliv), len(wantDeliv))
+	}
+	for j := range gotDeliv {
+		if gotDeliv[j] != wantDeliv[j] {
+			t.Fatalf("replica %d delivery %d: %+v batched, %+v solo", i, j, gotDeliv[j], wantDeliv[j])
+		}
+	}
+}
+
+// TestReplicaSetDivergentRetirement batches scenarios whose generation and
+// drain phases end at very different slots — a short light run, a long
+// saturated store-and-forward run, and a bounded-queue deflection run —
+// and requires every replica to retire exactly where its solo run stops.
+func TestReplicaSetDivergentRetirement(t *testing.T) {
+	base := rsTestTopology()
+	type scen struct {
+		rate  float64
+		slots int
+		drain int
+		cfg   sim.Config
+	}
+	scens := []scen{
+		{rate: 0.1, slots: 20, drain: 50, cfg: sim.Config{Seed: 7}},
+		{rate: 0.9, slots: 200, drain: 400, cfg: sim.Config{Seed: 8}},
+		{rate: 0.6, slots: 120, drain: 10, cfg: sim.Config{Seed: 9, MaxQueue: 2, Deflection: true}},
+		{rate: 0.4, slots: 60, drain: 200, cfg: sim.Config{Seed: 10, Wavelengths: 2}},
+	}
+	specs := make([]sim.ReplicaSpec, len(scens))
+	gotDeliv := make([][]sim.Message, len(scens))
+	for i, sc := range scens {
+		i := i
+		specs[i] = sim.ReplicaSpec{
+			Config:      sc.cfg,
+			Traffic:     sim.UniformTraffic{Rate: sc.rate},
+			Slots:       sc.slots,
+			Drain:       sc.drain,
+			StreamGroup: -1,
+			OnDeliver:   func(m sim.Message, slot int) { gotDeliv[i] = append(gotDeliv[i], m) },
+		}
+	}
+	rs := sim.NewReplicaSet(base)
+	rs.Configure(specs)
+	rs.RunAll()
+
+	slotsSeen := map[int]bool{}
+	for i, sc := range scens {
+		want, wantDeliv := soloRun(t, base, sim.UniformTraffic{Rate: sc.rate}, sc.slots, sc.drain, sc.cfg)
+		checkReplica(t, rs, i, want, wantDeliv, gotDeliv[i])
+		slotsSeen[want.Slots] = true
+	}
+	if len(slotsSeen) < 3 {
+		t.Fatalf("retirement slots %v not divergent enough to exercise independent retirement", slotsSeen)
+	}
+}
+
+// TestReplicaSetIdleReplicaAmongSiblings runs a zero-rate replica — its
+// active list stays empty for the whole batch — beside saturated siblings,
+// and a zero-slot replica that must retire before stepping once.
+func TestReplicaSetIdleReplicaAmongSiblings(t *testing.T) {
+	base := rsTestTopology()
+	scens := []struct {
+		rate         float64
+		slots, seed  int
+		wantInjected bool
+	}{
+		{rate: 0, slots: 100, seed: 1, wantInjected: false},
+		{rate: 0.8, slots: 100, seed: 2, wantInjected: true},
+		{rate: 0.5, slots: 0, seed: 3, wantInjected: false},
+	}
+	specs := make([]sim.ReplicaSpec, len(scens))
+	for i, sc := range scens {
+		specs[i] = sim.ReplicaSpec{
+			Config:      sim.Config{Seed: int64(sc.seed)},
+			Traffic:     sim.UniformTraffic{Rate: sc.rate},
+			Slots:       sc.slots,
+			Drain:       300,
+			StreamGroup: -1,
+		}
+	}
+	rs := sim.NewReplicaSet(base)
+	rs.Configure(specs)
+	rs.RunAll()
+
+	for i, sc := range scens {
+		want, _ := soloRun(t, base, sim.UniformTraffic{Rate: sc.rate}, sc.slots, 300, sim.Config{Seed: int64(sc.seed)})
+		if got := rs.Metrics(i); got != want {
+			t.Errorf("replica %d metrics diverged\nbatched %v\nsolo    %v", i, got, want)
+		}
+		if (want.Injected > 0) != sc.wantInjected {
+			t.Fatalf("replica %d: scenario shape wrong (injected=%d)", i, want.Injected)
+		}
+	}
+	if got := rs.Metrics(2); got.Slots != 0 {
+		t.Fatalf("zero-slot replica stepped %d slots; want 0", got.Slots)
+	}
+}
+
+// TestReplicaSetPerReplicaFaultInvalidation batches a fault-free replica
+// with replicas whose private fault wrappers fire different event plans
+// mid-run, invalidating route rows only in their own view. The fault-free
+// sibling shares an injection stream with one faulted replica, so the test
+// also pins that a mid-batch view recompile cannot leak into the shared
+// snapshot or the shared stream.
+func TestReplicaSetPerReplicaFaultInvalidation(t *testing.T) {
+	base := rsTestTopology()
+	cfg := sim.Config{Seed: 11}
+	slots, drain, rate := 150, 400, 0.6
+
+	planA := faults.Random(faults.KindNode, 2, 30, base, 101)
+	planB := faults.Random(faults.KindCoupler, 3, 80, base, 102)
+	specs := []sim.ReplicaSpec{
+		{Config: cfg, Traffic: sim.UniformTraffic{Rate: rate}, Slots: slots, Drain: drain, StreamGroup: 0},
+		{Topo: faults.Wrap(base, planA), Config: cfg, Traffic: sim.UniformTraffic{Rate: rate}, Slots: slots, Drain: drain, StreamGroup: 0},
+		{Topo: faults.Wrap(base, planB), Config: sim.Config{Seed: 12, Deflection: true}, Traffic: sim.UniformTraffic{Rate: rate}, Slots: slots, Drain: drain, StreamGroup: -1},
+	}
+	rs := sim.NewReplicaSet(base)
+	rs.Configure(specs)
+	rs.RunAll()
+
+	wantFree, _ := soloRun(t, base, sim.UniformTraffic{Rate: rate}, slots, drain, cfg)
+	wantA, _ := soloRun(t, faults.Wrap(base, planA), sim.UniformTraffic{Rate: rate}, slots, drain, cfg)
+	wantB, _ := soloRun(t, faults.Wrap(base, planB), sim.UniformTraffic{Rate: rate}, slots, drain, sim.Config{Seed: 12, Deflection: true})
+	for i, want := range []sim.Metrics{wantFree, wantA, wantB} {
+		if got := rs.Metrics(i); got != want {
+			t.Errorf("replica %d metrics diverged\nbatched %v\nsolo    %v", i, got, want)
+		}
+	}
+	if wantA.LostToFaults+wantA.Unroutable+wantA.Reroutes == 0 {
+		t.Fatal("node-fault plan disturbed nothing; the invalidation path was not exercised")
+	}
+	if wantB.Reroutes == 0 && wantB.Deflections == 0 {
+		t.Fatal("coupler-fault plan disturbed nothing; the invalidation path was not exercised")
+	}
+	if wantFree != rs.Metrics(0) {
+		t.Fatal("fault-free sibling contaminated by a faulted replica's view")
+	}
+}
+
+// TestReplicaSetWarmReuse re-arms one set for a second batch with changed
+// seeds, rates and fault plans: warm slabs, cached views and pooled group
+// RNGs must still reproduce solo runs bit for bit.
+func TestReplicaSetWarmReuse(t *testing.T) {
+	base := rsTestTopology()
+	ft := faults.Wrap(base, faults.Random(faults.KindNode, 1, 40, base, 55))
+	rs := sim.NewReplicaSet(base)
+
+	for round := 0; round < 3; round++ {
+		seed := int64(20 + round)
+		rate := 0.3 + 0.2*float64(round)
+		plan := faults.Random(faults.KindNode, 1+round%2, 40+10*round, base, seed)
+		ft.SetPlan(plan)
+		specs := []sim.ReplicaSpec{
+			{Config: sim.Config{Seed: seed}, Traffic: sim.UniformTraffic{Rate: rate}, Slots: 100, Drain: 300, StreamGroup: 0},
+			{Config: sim.Config{Seed: seed, Deflection: true}, Traffic: sim.UniformTraffic{Rate: rate}, Slots: 100, Drain: 300, StreamGroup: 0},
+			{Topo: ft, Config: sim.Config{Seed: seed + 100}, Traffic: sim.UniformTraffic{Rate: rate}, Slots: 100, Drain: 300, StreamGroup: -1},
+		}
+		rs.Configure(specs)
+		rs.RunAll()
+
+		wantSF, _ := soloRun(t, base, sim.UniformTraffic{Rate: rate}, 100, 300, sim.Config{Seed: seed})
+		wantDefl, _ := soloRun(t, base, sim.UniformTraffic{Rate: rate}, 100, 300, sim.Config{Seed: seed, Deflection: true})
+		wantFault, _ := soloRun(t, faults.Wrap(base, plan), sim.UniformTraffic{Rate: rate}, 100, 300, sim.Config{Seed: seed + 100})
+		for i, want := range []sim.Metrics{wantSF, wantDefl, wantFault} {
+			if got := rs.Metrics(i); got != want {
+				t.Errorf("round %d replica %d metrics diverged\nbatched %v\nsolo    %v", round, i, got, want)
+			}
+		}
+	}
+}

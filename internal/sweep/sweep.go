@@ -234,6 +234,12 @@ type Result struct {
 type Runner struct {
 	// Workers is the pool size; <= 0 means GOMAXPROCS.
 	Workers int
+	// Replicas is the batch size: how many scenarios a worker runs
+	// simultaneously on one sim.ReplicaSet over a shared compiled
+	// topology (see batch.go). 0 or 1 selects per-scenario dispatch;
+	// AutoReplicas picks a batch size from the grid shape and worker
+	// count. Results are bit-for-bit identical either way.
+	Replicas int
 }
 
 func (r Runner) workers() int {
@@ -282,8 +288,13 @@ type Progress func(i int, res Result, cached bool)
 // progress may be nil. Cancellation has per-point granularity: in-flight
 // scenarios finish (and are cached), unstarted ones are skipped, and the
 // error reports ctx.Err() with the returned slice holding zero Metrics for
-// every skipped point.
+// every skipped point. With Replicas > 1 (or AutoReplicas) scenarios are
+// dispatched in batches over shared compiled topologies — identical
+// results, identical cache traffic, batch-granular cancellation.
 func (r Runner) RunCached(ctx context.Context, points []Scenario, cache PointCache, progress Progress) ([]Result, error) {
+	if r.Replicas > 1 || r.Replicas == AutoReplicas {
+		return r.runBatched(ctx, points, cache, progress)
+	}
 	results := make([]Result, len(points))
 	err := r.fanScopedCtx(ctx, len(points), func() func(int) {
 		var engines engineCache

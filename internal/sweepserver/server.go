@@ -106,6 +106,7 @@ type StreamEvent struct {
 type job struct {
 	id     string
 	points []sweep.Scenario
+	runner sweep.Runner // the server runner, with any per-grid replicas override
 	cancel context.CancelFunc
 
 	mu      sync.Mutex
@@ -139,8 +140,15 @@ func (s *Server) submit(spec GridSpec) (*job, error) {
 		return nil, err
 	}
 	points := grid.Points()
+	runner := s.runner
+	if spec.Replicas != nil {
+		if r := *spec.Replicas; r < sweep.AutoReplicas {
+			return nil, fmt.Errorf("replicas %d invalid (want -1 for auto, 0/1 for off, or >= 2)", r)
+		}
+		runner.Replicas = *spec.Replicas
+	}
 	ctx, cancel := context.WithCancel(context.Background())
-	j := &job{points: points, cancel: cancel, state: stateRunning}
+	j := &job{points: points, runner: runner, cancel: cancel, state: stateRunning}
 	j.cond = sync.NewCond(&j.mu)
 	s.mu.Lock()
 	s.seq++
@@ -153,7 +161,7 @@ func (s *Server) submit(spec GridSpec) (*job, error) {
 
 // run executes the job's points and drives its event log.
 func (s *Server) run(ctx context.Context, j *job) {
-	results, err := s.runner.RunCached(ctx, j.points, s.cache, func(i int, res sweep.Result, cached bool) {
+	results, err := j.runner.RunCached(ctx, j.points, s.cache, func(i int, res sweep.Result, cached bool) {
 		ev := StreamEvent{Index: i, Cached: cached, Record: sweep.NewRecord(res)}
 		j.mu.Lock()
 		j.events = append(j.events, ev)

@@ -149,6 +149,31 @@ func TestSubmitStreamAndCurve(t *testing.T) {
 	}
 }
 
+// TestBatchedSubmissionMatchesDirectRun submits the grid with the
+// batched-dispatch override and requires every served record to equal the
+// per-scenario in-process run — the service-level face of the ReplicaSet
+// bit-for-bit contract.
+func TestBatchedSubmissionMatchesDirectRun(t *testing.T) {
+	ts := newTestServer(t)
+	spec := testSpec()
+	auto := -1
+	spec.Replicas = &auto
+	st := submit(t, ts, spec)
+
+	grid, err := spec.Grid()
+	if err != nil {
+		t.Fatal(err)
+	}
+	points := grid.Points()
+	want := sweep.Runner{}.Run(points)
+	for _, ev := range stream(t, ts, st.ID) {
+		if ev.Record != sweep.NewRecord(want[ev.Index]) {
+			t.Fatalf("batched point %d: served record %+v differs from direct run %+v",
+				ev.Index, ev.Record, sweep.NewRecord(want[ev.Index]))
+		}
+	}
+}
+
 func TestResubmissionAnswersFromCache(t *testing.T) {
 	ts := newTestServer(t)
 	spec := testSpec()
@@ -228,6 +253,7 @@ func TestBadRequests(t *testing.T) {
 		"bad workload":  `{"topologies":[{"net":"sk"}],"workloads":[{"kind":"chaos"}]}`,
 		"hot group oob": `{"topologies":[{"net":"sk","s":3,"d":2,"k":2}],"workloads":[{"kind":"hotspot","hot_group":99}]}`,
 		"bad fault":     `{"topologies":[{"net":"sk"}],"faults":[{"kind":"node","count":1,"mtbf":5}]}`,
+		"bad replicas":  `{"topologies":[{"net":"sk"}],"replicas":-3}`,
 	} {
 		resp, err := http.Post(ts.URL+"/api/v1/sweeps", "application/json", strings.NewReader(body))
 		if err != nil {

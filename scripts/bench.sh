@@ -1,11 +1,13 @@
 #!/usr/bin/env bash
 # Runs the engine performance benchmarks — the compiled-topology hot path,
-# its frozen legacy-engine baselines, the large-N O(active) benchmark and
-# the PR 5 service-layer pair (cold grid vs warm content-addressed cache) —
-# and emits BENCH_5.json with ns/op, B/op, allocs/op per benchmark plus the
-# same-machine speedups: compiled engine over the legacy baseline, and the
-# warm-cache grid over the cold grid (the service-layer contract is >= 10x).
-# BENCH_<n>.json snapshots accumulate per PR; BENCH_4.json is the previous
+# its frozen legacy-engine baselines, the large-N O(active) benchmark, the
+# service-layer pair (cold grid vs warm content-addressed cache) and the
+# PR 6 batched-dispatch pair (per-scenario grid vs ReplicaSet batches) —
+# and emits BENCH_6.json with ns/op, B/op, allocs/op per benchmark plus the
+# same-machine speedups: compiled engine over the legacy baseline, the
+# warm-cache grid over the cold grid (service-layer contract >= 10x), and
+# the batched grid over per-scenario dispatch.
+# BENCH_<n>.json snapshots accumulate per PR; BENCH_5.json is the previous
 # point of the trajectory.
 #
 # Usage: scripts/bench.sh            # default -benchtime=2s
@@ -16,8 +18,8 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BENCHTIME="${BENCHTIME:-2s}"
-OUT="${OUT:-BENCH_5.json}"
-PATTERN='BenchmarkStepAllocFree|BenchmarkT7SimThroughput|BenchmarkT7LegacyEngine|BenchmarkSweepGrid$|BenchmarkSweepGridLegacyEngine|BenchmarkStepLargeN|BenchmarkSweepCachedGrid'
+OUT="${OUT:-BENCH_6.json}"
+PATTERN='BenchmarkStepAllocFree|BenchmarkT7SimThroughput|BenchmarkT7LegacyEngine|BenchmarkSweepGrid$|BenchmarkSweepGridLegacyEngine|BenchmarkStepLargeN|BenchmarkSweepCachedGrid|BenchmarkSweepGridBatched|BenchmarkBatchedStep'
 
 raw=$(go test -run=NONE -bench="$PATTERN" -benchtime="$BENCHTIME" -benchmem .)
 printf '%s\n' "$raw"
@@ -39,7 +41,7 @@ printf '%s\n' "$raw" | awk -v benchtime="$BENCHTIME" '
 }
 END {
 	printf "{\n"
-	printf "  \"pr\": 5,\n"
+	printf "  \"pr\": 6,\n"
 	printf "  \"benchtime\": \"%s\",\n", benchtime
 	printf "  \"benchmarks\": [\n"
 	for (i = 1; i <= n; i++) {
@@ -52,12 +54,19 @@ END {
 	swn = lookup["BenchmarkSweepGrid"]
 	swo = lookup["BenchmarkSweepGridLegacyEngine"]
 	swc = lookup["BenchmarkSweepCachedGrid"]
+	swb = lookup["BenchmarkSweepGridBatched"]
+	stb = lookup["BenchmarkBatchedStep/batched"]
+	sts = lookup["BenchmarkBatchedStep/solo"]
 	printf "  \"speedup_vs_legacy\": {"
 	if (t7n > 0 && t7o > 0) printf "\"BenchmarkT7SimThroughput\": %.2f", t7o / t7n
 	if (swn > 0 && swo > 0) printf ", \"BenchmarkSweepGrid\": %.2f", swo / swn
 	printf "},\n"
 	printf "  \"warm_cache_speedup\": "
-	if (swn > 0 && swc > 0) printf "%.2f\n", swn / swc; else printf "null\n"
+	if (swn > 0 && swc > 0) printf "%.2f,\n", swn / swc; else printf "null,\n"
+	printf "  \"batched_speedup\": "
+	if (swn > 0 && swb > 0) printf "%.2f,\n", swn / swb; else printf "null,\n"
+	printf "  \"batched_step_speedup\": "
+	if (stb > 0 && sts > 0) printf "%.2f\n", sts / stb; else printf "null\n"
 	printf "}\n"
 }' > "$OUT"
 
