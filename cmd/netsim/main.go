@@ -51,7 +51,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"math"
 	"math/rand"
 	"net/http"
@@ -63,6 +63,7 @@ import (
 	"otisnet/internal/collective"
 	"otisnet/internal/export"
 	"otisnet/internal/faults"
+	"otisnet/internal/obs"
 	"otisnet/internal/pops"
 	"otisnet/internal/sim"
 	"otisnet/internal/stackkautz"
@@ -71,6 +72,16 @@ import (
 	"otisnet/internal/sweepserver"
 	"otisnet/internal/workload"
 )
+
+// setupLogging installs the process logger: slog text on stderr, or JSON
+// records when -logjson is set (one object per line, machine-ingestable).
+func setupLogging(json bool) {
+	if json {
+		slog.SetDefault(slog.New(slog.NewJSONHandler(os.Stderr, nil)))
+		return
+	}
+	slog.SetDefault(slog.New(slog.NewTextHandler(os.Stderr, nil)))
+}
 
 func main() {
 	if len(os.Args) > 1 && os.Args[1] == "serve" {
@@ -96,6 +107,10 @@ func main() {
 		waves    = flag.Int("wavelengths", 1, "wavelengths per coupler (WDM extension)")
 		saturate = flag.Bool("saturate", false, "binary-search the saturation rate instead of one run")
 		repeat   = flag.Int("repeat", 1, "repeat the scenario with seeds seed..seed+repeat-1 on one reused engine; reports mean/stddev and engine speed")
+
+		traceF      = flag.String("trace", "", "single run: write sampled engine trace events (NDJSON) to this file")
+		traceSample = flag.Int("tracesample", 1, "single run: with -trace, emit events every Nth slot")
+		logJSON     = flag.Bool("logjson", false, "structured logs as JSON on stderr (default: text)")
 
 		workloadF   = flag.String("workload", "uniform", `workload: "uniform", "transpose", "hotspot", "bursty" or "collective"; sweep: comma list (no collective)`)
 		hotGroup    = flag.Int("hotgroup", 0, "hotspot workload: target group index")
@@ -127,12 +142,35 @@ func main() {
 		raw      = flag.Bool("raw", false, "sweep: emit raw per-seed results instead of the aggregated curve")
 	)
 	flag.Parse()
+	setupLogging(*logJSON)
 
 	explicit := map[string]bool{}
 	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
 	if explicit["traffic"] && explicit["workload"] {
 		fmt.Fprintln(os.Stderr, "netsim: -traffic (legacy) conflicts with -workload; use one")
 		os.Exit(2)
+	}
+	if explicit["tracesample"] && !explicit["trace"] {
+		fmt.Fprintln(os.Stderr, "netsim: -tracesample only applies with -trace")
+		os.Exit(2)
+	}
+	if explicit["trace"] {
+		if *traceSample < 1 {
+			fmt.Fprintln(os.Stderr, "netsim: -tracesample must be >= 1")
+			os.Exit(2)
+		}
+		// The trace hooks live on one engine; modes that run many engines
+		// (or replay schedules) would silently interleave or drop events.
+		for _, f := range []string{"sweep", "saturate", "repeat"} {
+			if explicit[f] {
+				fmt.Fprintf(os.Stderr, "netsim: -trace records a single run; it conflicts with -%s\n", f)
+				os.Exit(2)
+			}
+		}
+		if *workloadF == "collective" {
+			fmt.Fprintln(os.Stderr, "netsim: -trace records a single run; it does not apply to the collective replay workload")
+			os.Exit(2)
+		}
 	}
 	for _, f := range []string{"cachedir", "shards", "shard", "mergeshards"} {
 		if explicit[f] && !*doSweep {
@@ -325,7 +363,23 @@ func main() {
 		runRepeated(topo, desc, trafficName, mode, newTraffic, cfg, *seed, *repeat, *slots, *drain, *rate)
 		return
 	}
-	m := sim.Run(topo, newTraffic(), *slots, *drain, cfg)
+	// sim.Run is NewEngine+Run; building the engine here lets -trace attach
+	// its event sink without changing the simulated scenario.
+	eng := sim.NewEngine(topo, cfg)
+	var tr *obs.Trace
+	if *traceF != "" {
+		t, err := obs.OpenTraceFile(*traceF, *traceSample)
+		must(err)
+		tr = t
+		eng.SetTrace(tr)
+	}
+	m := eng.Run(newTraffic(), *slots, *drain, cfg)
+	if tr != nil {
+		events := tr.Events()
+		must(tr.Close())
+		must(tr.Err())
+		slog.Info("trace written", "file", *traceF, "events", events, "sample", *traceSample)
+	}
 	fmt.Printf("%s  traffic=%s rate=%.2f mode=%s\n", desc, trafficName, *rate, mode)
 	fmt.Println(m)
 	fmt.Printf("per-node throughput: %.4f msgs/slot/node\n", m.Throughput()/float64(topo.Nodes()))
@@ -648,8 +702,8 @@ func runSweep(o sweepOpts) {
 	must(err)
 	if cache != nil {
 		st := cache.Stats()
-		fmt.Fprintf(os.Stderr, "netsim: cache %s: %d/%d points reused, %d computed (%d entries)\n",
-			o.cacheDir, st.Hits, len(points), st.Misses, st.Entries)
+		slog.Info("sweep cache", "dir", o.cacheDir,
+			"reused", st.Hits, "computed", st.Misses, "points", len(points), "entries", st.Entries)
 	}
 	closeCache(cache)
 	emitResults(o, results)
@@ -687,7 +741,7 @@ func readShardFile(path string) []sweep.ShardResult {
 	})
 	must(err)
 	if truncated {
-		fmt.Fprintf(os.Stderr, "netsim: %s ends mid-line (interrupted shard?); dropped the torn fragment\n", path)
+		slog.Warn("shard file ends mid-line (interrupted shard?); dropped the torn fragment", "file", path)
 	}
 	return rows
 }
@@ -699,7 +753,7 @@ func closeCache(c *sweepcache.Cache) {
 		return
 	}
 	if err := c.Err(); err != nil {
-		fmt.Fprintf(os.Stderr, "netsim: warning: %v (results are complete; the cache journal is not)\n", err)
+		slog.Warn("cache journal degraded (results are complete; the journal is not)", "err", err)
 	}
 	c.Close()
 }
@@ -712,7 +766,10 @@ func runServe(args []string) {
 	cacheDir := fs.String("cachedir", "", "content-addressed result cache directory (empty = in-memory only)")
 	workers := fs.Int("workers", 0, "sweep worker goroutines (0 = GOMAXPROCS)")
 	replicas := fs.String("replicas", "auto", `scenarios batched per worker on one replica set ("auto", "off", or a count >= 2); a grid's "replicas" field overrides`)
+	pprofF := fs.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
+	logJSON := fs.Bool("logjson", false, "structured logs as JSON on stderr (default: text)")
 	fs.Parse(args)
+	setupLogging(*logJSON)
 	var cache *sweepcache.Cache
 	if *cacheDir != "" {
 		// The server journals under its own name so a concurrent CLI sweep
@@ -725,10 +782,11 @@ func runServe(args []string) {
 		}
 		cache = c
 		st := c.Stats()
-		log.Printf("netsim serve: cache %s loaded (%d entries)", *cacheDir, st.Entries)
+		slog.Info("cache loaded", "dir", *cacheDir, "entries", st.Entries, "torn_lines", st.TornLines)
 	}
 	srv := sweepserver.New(sweep.Runner{Workers: *workers, Replicas: parseReplicas(*replicas)}, cache)
-	log.Printf("netsim serve: listening on %s (POST /api/v1/sweeps)", *addr)
+	srv.Pprof = *pprofF
+	slog.Info("listening", "addr", *addr, "pprof", *pprofF)
 	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
 		fmt.Fprintf(os.Stderr, "netsim: %v\n", err)
 		os.Exit(1)

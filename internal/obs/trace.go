@@ -1,0 +1,104 @@
+package obs
+
+// Trace is the engine trace sink: sampled per-slot NDJSON events through
+// the internal/export framing, so a scenario's queue/delivery timeline
+// can be replayed offline with the same torn-tail-tolerant readers the
+// cache journals use. The overhead contract lives on the producer side:
+// engines hold a *Trace pointer that is nil unless tracing was requested,
+// and every emission site hides behind that nil check — the hot path pays
+// one predictable branch, no interface call, no allocation.
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+
+	"otisnet/internal/export"
+)
+
+// Trace serializes trace events to one NDJSON stream. Safe for
+// concurrent emitters (a mutex per event — tracing is a diagnostic mode,
+// not a hot path). Construct with NewTrace or OpenTraceFile.
+type Trace struct {
+	mu     sync.Mutex
+	w      *bufio.Writer
+	c      io.Closer // non-nil when Trace owns the file
+	sample int
+	events int64
+	err    error
+}
+
+// NewTrace wraps w in a buffered NDJSON event sink sampling every
+// sample-th slot (values < 1 mean every slot).
+func NewTrace(w io.Writer, sample int) *Trace {
+	if sample < 1 {
+		sample = 1
+	}
+	return &Trace{w: bufio.NewWriter(w), sample: sample}
+}
+
+// OpenTraceFile creates (truncating) path and returns a Trace writing to
+// it; Close flushes and closes the file.
+func OpenTraceFile(path string, sample int) (*Trace, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("obs: trace: %w", err)
+	}
+	t := NewTrace(f, sample)
+	t.c = f
+	return t, nil
+}
+
+// SampleEvery returns the slot sampling period N: producers emit events
+// only for slots where slot % N == 0.
+func (t *Trace) SampleEvery() int { return t.sample }
+
+// Emit writes one event as an NDJSON line. The first write error sticks
+// (see Err); later events are dropped rather than failing the run being
+// traced.
+func (t *Trace) Emit(v any) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.err != nil {
+		return
+	}
+	if err := export.WriteNDJSONLine(t.w, v); err != nil {
+		t.err = err
+		return
+	}
+	t.events++
+}
+
+// Events returns how many events were written so far.
+func (t *Trace) Events() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.events
+}
+
+// Err reports the first write failure, or nil.
+func (t *Trace) Err() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.err
+}
+
+// Close flushes the buffer and closes the underlying file when the Trace
+// owns one. The Trace must not be used after Close.
+func (t *Trace) Close() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	err := t.w.Flush()
+	if t.err == nil {
+		t.err = err
+	}
+	if t.c != nil {
+		if cerr := t.c.Close(); err == nil {
+			err = cerr
+		}
+		t.c = nil
+	}
+	return err
+}

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math/bits"
 	"math/rand"
+
+	"otisnet/internal/obs"
 )
 
 // Message is an in-flight unicast message.
@@ -208,6 +210,16 @@ type replica struct {
 	// onDeliver mirrors Engine.OnDeliver (and ReplicaSpec.OnDeliver):
 	// invoked per delivered message with its final hop count and slot.
 	onDeliver func(msg Message, slot int)
+
+	// obs holds the scenario's local observability tallies (plain memory,
+	// single writer), flushed into the shared registry once per completed
+	// run; see obs.go for the overhead contract.
+	obs obsState
+	// trace, when non-nil, receives sampled per-slot NDJSON events;
+	// traceSlot caches "this slot is sampled" so hot emission sites test
+	// one bool. Both stay nil/false in normal (untraced) runs.
+	trace     *obs.Trace
+	traceSlot bool
 }
 
 // attach points the replica at a compiled snapshot.
@@ -241,6 +253,7 @@ func (e *replica) allocState() {
 	e.grantSlot = make([]txRequest, e.m)
 	e.activePos = make([]int32, e.n)
 	e.headReq = make([]txRequest, e.n)
+	e.obs.shard = obs.NextShard()
 }
 
 // reset re-arms the replica for a fresh scenario under cfg: queues,
@@ -282,6 +295,11 @@ func (e *replica) reset(cfg Config) {
 	e.nextID, e.slot, e.backlog = 0, 0, 0
 	e.metrics = Metrics{}
 	e.recovering = false
+	// Discard unflushed tallies from an abandoned manual-stepping session;
+	// completed runs flush (and re-zero) them before the next reset.
+	e.obs.activeSum, e.obs.touchedSum, e.obs.qDepthSum = 0, 0, 0
+	e.obs.qDepth = [qDepthBuckets]int64{}
+	e.traceSlot = false
 	if e.dyn != nil {
 		e.dyn.Reset()
 		if e.ct.dirty {
@@ -323,10 +341,15 @@ func (e *replica) enqueue(node int, msg qmsg) {
 	}
 	q.push(msg)
 	e.backlog++
-	if q.len() > e.metrics.PeakQueue {
-		e.metrics.PeakQueue = q.len()
+	d := q.len()
+	// Queue-depth histogram tally: a bits.Len bucket pick and two plain
+	// adds on replica-local memory, published only at scenario flush.
+	e.obs.qDepth[qDepthBucket(d)]++
+	e.obs.qDepthSum += int64(d)
+	if d > e.metrics.PeakQueue {
+		e.metrics.PeakQueue = d
 	}
-	if q.len() == 1 {
+	if d == 1 {
 		e.activePos[node] = int32(len(e.active))
 		e.active = append(e.active, int32(node))
 		e.computeHeadReq(node, msg.dst)
@@ -393,6 +416,12 @@ func (e *replica) step() {
 			e.applyTopologyChange(ch)
 		}
 	}
+	// Active-node occupancy tally (one add on local memory per slot) and
+	// the sampled-slot trace gate (false for the life of untraced runs).
+	e.obs.activeSum += int64(len(e.active))
+	if e.trace != nil {
+		e.traceSlot = e.traceSampled()
+	}
 
 	if e.cfg.Wavelengths <= 1 {
 		e.stepSingleWavelength()
@@ -400,6 +429,9 @@ func (e *replica) step() {
 		e.stepMultiWavelength()
 	}
 
+	if e.traceSlot {
+		e.emitTraceSlot()
+	}
 	e.slot++
 	if e.recovering && e.backlog <= e.recoverBaseline {
 		e.metrics.RecoverySlots += e.slot - e.recoverStart
@@ -530,6 +562,7 @@ func (e *replica) stepSingleWavelength() {
 			continue
 		}
 		e.touched[wi] = 0
+		e.obs.touchedSum += int64(bits.OnesCount64(word))
 		for word != 0 {
 			c := wi<<6 + bits.TrailingZeros64(word)
 			word &= word - 1
@@ -661,6 +694,7 @@ func (e *replica) stepMultiWavelength() {
 			continue
 		}
 		e.touched[wi] = 0
+		e.obs.touchedSum += int64(bits.OnesCount64(word))
 		for word != 0 {
 			c := wi<<6 + bits.TrailingZeros64(word)
 			word &= word - 1
@@ -713,6 +747,13 @@ func (e *replica) transmit(r txRequest) {
 				ID: int(msg.id), Src: int(msg.src), Dst: int(msg.dst),
 				Born: int(msg.born), Hops: hops,
 			}, e.slot+1)
+		}
+		if e.traceSlot {
+			e.trace.Emit(TraceDeliverEvent{
+				Kind: "deliver", Slot: e.slot + 1,
+				ID: int(msg.id), Src: int(msg.src), Dst: int(msg.dst),
+				Born: int(msg.born), Hops: hops,
+			})
 		}
 		e.dropFront(src)
 	} else {
@@ -812,7 +853,9 @@ func (e *replica) run(traffic Traffic, slots, drain int, cfg Config) Metrics {
 	for s := 0; s < drain && e.backlog > 0; s++ {
 		e.step()
 	}
-	return e.metricsSnapshot()
+	m := e.metricsSnapshot()
+	e.flushObs()
+	return m
 }
 
 // runUniform is run's fused generation loop for uniform Bernoulli traffic

@@ -3,6 +3,8 @@ package sim
 import (
 	"fmt"
 	"math/rand"
+
+	"otisnet/internal/obs"
 )
 
 // ReplicaSet runs R replicas — independent scenarios — over one shared
@@ -182,6 +184,7 @@ func (rs *ReplicaSet) grow(r int) {
 		rp.activePos = activePos[i*n : (i+1)*n : (i+1)*n]
 		rp.headReq = headReq[i*n : (i+1)*n : (i+1)*n]
 		rp.active = active[i*n : i*n : (i+1)*n]
+		rp.obs.shard = obs.NextShard()
 	}
 	rs.reps = reps
 	rs.slabCap = r
@@ -275,12 +278,17 @@ func (rs *ReplicaSet) Metrics(i int) Metrics { return rs.reps[i].metricsSnapshot
 // backlog empty, or drain budget spent. Retirement is checked before the
 // step, so slot counts match solo runs including zero-slot scenarios.
 func (rs *ReplicaSet) RunAll() {
+	engineObs.batchRuns.Add(1)
+	engineObs.batchSize.Observe(float64(len(rs.specs)))
 	for {
-		// Retire finished replicas (swap-remove keeps this O(live)).
+		// Retire finished replicas (swap-remove keeps this O(live)). A
+		// retiring replica flushes its scenario tallies into the registry,
+		// exactly as its solo Engine.Run would have on return.
 		for i := 0; i < len(rs.live); {
 			ri := rs.live[i]
 			sp := &rs.specs[ri]
 			if rs.reps[ri].finished(sp.Slots, sp.Drain) {
+				rs.reps[ri].flushObs()
 				last := len(rs.live) - 1
 				rs.live[i] = rs.live[last]
 				rs.live = rs.live[:last]

@@ -16,8 +16,10 @@ package sweep
 
 import (
 	"context"
+	"time"
 
 	"otisnet/internal/faults"
+	"otisnet/internal/obs"
 	"otisnet/internal/sim"
 	"otisnet/internal/workload"
 )
@@ -149,7 +151,7 @@ func (r Runner) runBatched(ctx context.Context, points []Scenario, cache PointCa
 	batches := planBatches(points, rep)
 	results := make([]Result, len(points))
 	err := r.fanScopedCtx(ctx, len(batches), func() func(int) {
-		w := batchWorker{rep: rep}
+		w := batchWorker{rep: rep, sh: obs.NextShard()}
 		return func(bi int) { w.run(batches[bi], points, results, cache, progress) }
 	})
 	return results, err
@@ -161,6 +163,7 @@ func (r Runner) runBatched(ctx context.Context, points []Scenario, cache PointCa
 // a batch allocates nothing in steady state.
 type batchWorker struct {
 	rep  int
+	sh   int // counter shard hint, one per worker goroutine
 	sets []batchSet
 
 	// Per-batch assembly scratch, reused across batches.
@@ -206,6 +209,7 @@ func (w *batchWorker) run(batch []int, points []Scenario, results []Result, cach
 		clear(w.gids)
 	}
 
+	sweepObs.started.AddShard(w.sh, int64(len(batch)))
 	var set *batchSet
 	for _, pi := range batch {
 		p := &points[pi]
@@ -213,6 +217,7 @@ func (w *batchWorker) run(batch []int, points []Scenario, results []Result, cach
 		if cache != nil {
 			if key, hashable = p.CacheKey(); hashable {
 				if m, ok := cache.Lookup(key); ok {
+					sweepObs.cached.AddShard(w.sh, 1)
 					results[pi] = Result{Scenario: *p, Metrics: m}
 					if progress != nil {
 						progress(pi, results[pi], true)
@@ -264,8 +269,12 @@ func (w *batchWorker) run(batch []int, points []Scenario, results []Result, cach
 		return
 	}
 
+	sweepObs.batchSize.Observe(float64(len(w.specs)))
+	t0 := time.Now()
 	set.rset.Configure(w.specs)
 	set.rset.RunAll()
+	sweepObs.busyNS.AddShard(w.sh, time.Since(t0).Nanoseconds())
+	sweepObs.completed.AddShard(w.sh, int64(len(w.misses)))
 
 	for slot, pi := range w.misses {
 		m := set.rset.Metrics(slot)

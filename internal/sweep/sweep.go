@@ -21,8 +21,10 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"otisnet/internal/faults"
+	"otisnet/internal/obs"
 	"otisnet/internal/sim"
 	"otisnet/internal/workload"
 )
@@ -298,12 +300,15 @@ func (r Runner) RunCached(ctx context.Context, points []Scenario, cache PointCac
 	results := make([]Result, len(points))
 	err := r.fanScopedCtx(ctx, len(points), func() func(int) {
 		var engines engineCache
+		sh := obs.NextShard()
 		return func(i int) {
+			sweepObs.started.AddShard(sh, 1)
 			p := points[i]
 			key, hashable := "", false
 			if cache != nil {
 				if key, hashable = p.CacheKey(); hashable {
 					if m, ok := cache.Lookup(key); ok {
+						sweepObs.cached.AddShard(sh, 1)
 						results[i] = Result{Scenario: p, Metrics: m}
 						if progress != nil {
 							progress(i, results[i], true)
@@ -312,7 +317,10 @@ func (r Runner) RunCached(ctx context.Context, points []Scenario, cache PointCac
 					}
 				}
 			}
+			t0 := time.Now()
 			m := engines.run(p)
+			sweepObs.busyNS.AddShard(sh, time.Since(t0).Nanoseconds())
+			sweepObs.completed.AddShard(sh, 1)
 			if hashable {
 				cache.Store(key, m)
 			}

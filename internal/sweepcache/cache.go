@@ -145,6 +145,8 @@ func (c *Cache) load(dir string) error {
 		}
 	}
 	c.stats.Entries = len(c.entries)
+	cacheObs.resumed.Add(int64(c.stats.Loaded))
+	cacheObs.torn.Add(int64(c.stats.TornLines))
 	return nil
 }
 
@@ -155,8 +157,10 @@ func (c *Cache) Lookup(key string) (sim.Metrics, bool) {
 	m, ok := c.entries[key]
 	if ok {
 		c.stats.Hits++
+		cacheObs.hits.Add(1)
 	} else {
 		c.stats.Misses++
+		cacheObs.misses.Add(1)
 	}
 	return m, ok
 }
@@ -176,6 +180,7 @@ func (c *Cache) Store(key string, m sim.Metrics) {
 	c.entries[key] = m
 	c.stats.Entries = len(c.entries)
 	c.stats.Stores++
+	cacheObs.stores.Add(1)
 	if c.journal == nil {
 		return
 	}

@@ -1,0 +1,28 @@
+package sweepcache
+
+// Cache observability: process-wide counters in the shared obs.Default
+// registry, incremented alongside the per-cache Stats fields. Stats
+// answers "how did this cache do"; the registry answers "what is the
+// process doing" across every cache opened since start, which is what
+// /metrics scrapes and the observe endpoint report.
+
+import "otisnet/internal/obs"
+
+var cacheObs = struct {
+	hits    *obs.Counter
+	misses  *obs.Counter
+	stores  *obs.Counter
+	resumed *obs.Counter
+	torn    *obs.Counter
+}{
+	hits: obs.Default().Counter("netsim_sweepcache_hits_total",
+		"Cache lookups that found a stored result."),
+	misses: obs.Default().Counter("netsim_sweepcache_misses_total",
+		"Cache lookups that found nothing."),
+	stores: obs.Default().Counter("netsim_sweepcache_stores_total",
+		"New entries persisted (duplicate keys are skipped, not counted)."),
+	resumed: obs.Default().Counter("netsim_sweepcache_journal_entries_resumed_total",
+		"Entries loaded from on-disk journals at cache open (resume volume)."),
+	torn: obs.Default().Counter("netsim_sweepcache_journal_torn_tails_total",
+		"Unterminated journal tails dropped at cache open."),
+}

@@ -17,6 +17,12 @@
 //	GET  /api/v1/sweeps/{id}/curve  — aggregated curve (completed jobs)
 //	POST /api/v1/sweeps/{id}/cancel — stop handing out points
 //	GET  /api/v1/cache/stats   — sweepcache counters
+//	GET  /api/v1/observe       — one-call observability snapshot: every
+//	                             registry instrument, cache hit rate, and
+//	                             live per-job progress with throughput
+//	GET  /metrics              — Prometheus text exposition of the shared
+//	                             obs registry (and /debug/pprof/ when the
+//	                             server is built with Pprof set)
 //
 // Jobs are in-memory; the cache is what persists across restarts. A
 // resubmitted grid after a restart replays instantly from the cache.
@@ -26,9 +32,11 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"sort"
 	"sync"
+	"time"
 
 	"otisnet/internal/export"
 	"otisnet/internal/sweep"
@@ -37,6 +45,13 @@ import (
 
 // Server owns the job table. Construct with New; serve Handler().
 type Server struct {
+	// Pprof opts the net/http/pprof handlers into Handler's mux (under
+	// /debug/pprof/). Set before calling Handler.
+	Pprof bool
+	// Logger receives job-lifecycle events (submitted/done/canceled) with
+	// a job_id attribute on every record; nil means slog.Default().
+	Logger *slog.Logger
+
 	runner sweep.Runner
 	cache  *sweepcache.Cache
 
@@ -104,17 +119,19 @@ type StreamEvent struct {
 // the terminal state change, which is what lets any number of stream
 // handlers tail the events slice without channels per subscriber.
 type job struct {
-	id     string
-	points []sweep.Scenario
-	runner sweep.Runner // the server runner, with any per-grid replicas override
-	cancel context.CancelFunc
+	id      string
+	points  []sweep.Scenario
+	runner  sweep.Runner // the server runner, with any per-grid replicas override
+	cancel  context.CancelFunc
+	started time.Time
 
-	mu      sync.Mutex
-	cond    *sync.Cond
-	events  []StreamEvent
-	cached  int
-	state   string
-	results []sweep.Result // set when state == stateDone
+	mu       sync.Mutex
+	cond     *sync.Cond
+	events   []StreamEvent
+	cached   int
+	state    string
+	results  []sweep.Result // set when state == stateDone
+	finished time.Time      // set at the terminal state change
 }
 
 // Status is the JSON status of a job.
@@ -148,15 +165,26 @@ func (s *Server) submit(spec GridSpec) (*job, error) {
 		runner.Replicas = *spec.Replicas
 	}
 	ctx, cancel := context.WithCancel(context.Background())
-	j := &job{points: points, runner: runner, cancel: cancel, state: stateRunning}
+	j := &job{points: points, runner: runner, cancel: cancel, state: stateRunning, started: time.Now()}
 	j.cond = sync.NewCond(&j.mu)
 	s.mu.Lock()
 	s.seq++
 	j.id = fmt.Sprintf("s%d", s.seq)
 	s.jobs[j.id] = j
 	s.mu.Unlock()
+	serverObs.submitted.Add(1)
+	serverObs.running.Add(1)
+	s.logger().Info("sweep submitted", "job_id", j.id, "points", len(points), "replicas", runner.Replicas)
 	go s.run(ctx, j)
 	return j, nil
+}
+
+// logger returns the configured job-lifecycle logger.
+func (s *Server) logger() *slog.Logger {
+	if s.Logger != nil {
+		return s.Logger
+	}
+	return slog.Default()
 }
 
 // run executes the job's points and drives its event log.
@@ -178,8 +206,18 @@ func (s *Server) run(ctx context.Context, j *job) {
 		j.state = stateDone
 		j.results = results
 	}
+	j.finished = time.Now()
+	done, cached, elapsed := len(j.events), j.cached, j.finished.Sub(j.started)
 	j.mu.Unlock()
 	j.cond.Broadcast()
+	serverObs.running.Add(-1)
+	if err != nil {
+		serverObs.canceled.Add(1)
+		s.logger().Info("sweep canceled", "job_id", j.id, "done", done, "points", len(j.points), "elapsed", elapsed)
+	} else {
+		serverObs.completed.Add(1)
+		s.logger().Info("sweep done", "job_id", j.id, "points", len(j.points), "cached", cached, "elapsed", elapsed)
+	}
 }
 
 // Handler returns the API router.
@@ -192,6 +230,11 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /api/v1/sweeps/{id}/curve", s.handleCurve)
 	mux.HandleFunc("POST /api/v1/sweeps/{id}/cancel", s.handleCancel)
 	mux.HandleFunc("GET /api/v1/cache/stats", s.handleCacheStats)
+	mux.HandleFunc("GET /api/v1/observe", s.handleObserve)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	if s.Pprof {
+		registerPprof(mux)
+	}
 	return mux
 }
 
@@ -243,14 +286,20 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 	for i, j := range jobs {
 		out[i] = j.status()
 	}
-	// Job ids are s<seq>; shorter-then-lexicographic sorts them numerically.
-	sort.Slice(out, func(a, b int) bool {
-		if len(out[a].ID) != len(out[b].ID) {
-			return len(out[a].ID) < len(out[b].ID)
-		}
-		return out[a].ID < out[b].ID
-	})
+	sortStatuses(out, func(st Status) string { return st.ID })
 	writeJSON(w, out)
+}
+
+// sortStatuses orders job rows by id. Ids are s<seq>, so
+// shorter-then-lexicographic sorts them numerically.
+func sortStatuses[T any](rows []T, id func(T) string) {
+	sort.Slice(rows, func(a, b int) bool {
+		ia, ib := id(rows[a]), id(rows[b])
+		if len(ia) != len(ib) {
+			return len(ia) < len(ib)
+		}
+		return ia < ib
+	})
 }
 
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
@@ -334,6 +383,7 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	j.cancel()
+	s.logger().Info("sweep cancel requested", "job_id", j.id)
 	writeJSON(w, j.status())
 }
 

@@ -4,6 +4,8 @@ import (
 	"bufio"
 	"bytes"
 	"encoding/json"
+	"io"
+	"log/slog"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -30,7 +32,9 @@ func testSpec() sweepserver.GridSpec {
 
 func newTestServer(t *testing.T) *httptest.Server {
 	t.Helper()
-	ts := httptest.NewServer(sweepserver.New(sweep.Runner{}, sweepcache.NewMemory()).Handler())
+	srv := sweepserver.New(sweep.Runner{}, sweepcache.NewMemory())
+	srv.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	ts := httptest.NewServer(srv.Handler())
 	t.Cleanup(ts.Close)
 	return ts
 }

@@ -3,12 +3,14 @@
 # its frozen legacy-engine baselines, the large-N O(active) benchmark, the
 # service-layer pair (cold grid vs warm content-addressed cache) and the
 # PR 6 batched-dispatch pair (per-scenario grid vs ReplicaSet batches) —
-# and emits BENCH_6.json with ns/op, B/op, allocs/op per benchmark plus the
+# and emits BENCH_7.json with ns/op, B/op, allocs/op per benchmark plus the
 # same-machine speedups: compiled engine over the legacy baseline, the
 # warm-cache grid over the cold grid (service-layer contract >= 10x), and
 # the batched grid over per-scenario dispatch.
-# BENCH_<n>.json snapshots accumulate per PR; BENCH_5.json is the previous
-# point of the trajectory.
+# BENCH_<n>.json snapshots accumulate per PR; BENCH_6.json is the previous
+# point of the trajectory. `go run ./cmd/benchdiff` prints the trajectory
+# across every snapshot and fails on >10% regressions of the headline
+# speedups between the last two points.
 #
 # Usage: scripts/bench.sh            # default -benchtime=2s
 #        BENCHTIME=1x scripts/bench.sh   # CI smoke (pipeline check only;
@@ -18,7 +20,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BENCHTIME="${BENCHTIME:-2s}"
-OUT="${OUT:-BENCH_6.json}"
+OUT="${OUT:-BENCH_7.json}"
 PATTERN='BenchmarkStepAllocFree|BenchmarkT7SimThroughput|BenchmarkT7LegacyEngine|BenchmarkSweepGrid$|BenchmarkSweepGridLegacyEngine|BenchmarkStepLargeN|BenchmarkSweepCachedGrid|BenchmarkSweepGridBatched|BenchmarkBatchedStep'
 
 raw=$(go test -run=NONE -bench="$PATTERN" -benchtime="$BENCHTIME" -benchmem .)
@@ -41,7 +43,7 @@ printf '%s\n' "$raw" | awk -v benchtime="$BENCHTIME" '
 }
 END {
 	printf "{\n"
-	printf "  \"pr\": 6,\n"
+	printf "  \"pr\": 7,\n"
 	printf "  \"benchtime\": \"%s\",\n", benchtime
 	printf "  \"benchmarks\": [\n"
 	for (i = 1; i <= n; i++) {
