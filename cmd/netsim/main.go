@@ -43,6 +43,15 @@
 //	go run ./cmd/netsim -net all -sweep -shards 3 -shard 0 > shard0.ndjson
 //	go run ./cmd/netsim -net all -sweep -mergeshards shard0.ndjson,shard1.ndjson,shard2.ndjson -format csv
 //	go run ./cmd/netsim serve -addr :8080 -cachedir /tmp/otiscache
+//
+// Distributed sweeps (internal/coordinator): `serve` doubles as a lease
+// coordinator — grids submitted with "shards" > 0 are executed by any
+// number of `work` processes (leased shards, crash-tolerant, merged
+// bit-for-bit with a single-process run):
+//
+//	go run ./cmd/netsim serve -addr :8080 -cachedir /tmp/otiscache
+//	go run ./cmd/netsim work -server http://127.0.0.1:8080 -workers 4 -cachedir /tmp/otiscache
+//	curl -d '{"topologies":[{"net":"sk"}],"rates":[0.1,0.3],"seeds":[1,2,3],"shards":4}' localhost:8080/api/v1/sweeps
 package main
 
 import (
@@ -56,11 +65,15 @@ import (
 	"math/rand"
 	"net/http"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"sync"
+	"syscall"
 	"time"
 
 	"otisnet/internal/collective"
+	"otisnet/internal/coordinator"
 	"otisnet/internal/export"
 	"otisnet/internal/faults"
 	"otisnet/internal/obs"
@@ -86,6 +99,10 @@ func setupLogging(json bool) {
 func main() {
 	if len(os.Args) > 1 && os.Args[1] == "serve" {
 		runServe(os.Args[2:])
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "work" {
+		runWork(os.Args[2:])
 		return
 	}
 	var (
@@ -791,6 +808,74 @@ func runServe(args []string) {
 		fmt.Fprintf(os.Stderr, "netsim: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+// runWork joins a `netsim serve` coordinator as a worker fleet: each
+// worker loops acquiring leased shards, runs them through the shared
+// sweep engine (optionally against a local content-addressed cache so a
+// restarted worker resumes from its journal), and posts rows back.
+func runWork(args []string) {
+	fs := flag.NewFlagSet("netsim work", flag.ExitOnError)
+	server := fs.String("server", "http://127.0.0.1:8080", "coordinator base URL (a `netsim serve` address)")
+	workerN := fs.Int("workers", 1, "concurrent lease workers in this process")
+	goroutines := fs.Int("goroutines", 0, "sweep goroutines per worker (0 = GOMAXPROCS)")
+	replicas := fs.String("replicas", "auto", `scenarios batched per goroutine on one replica set ("auto", "off", or a count >= 2)`)
+	cacheDir := fs.String("cachedir", "", "content-addressed result cache directory (empty = no cache)")
+	name := fs.String("name", "", "worker name prefix (default host-pid)")
+	poll := fs.Duration("poll", 500*time.Millisecond, "idle poll interval between acquire attempts")
+	idleExit := fs.Duration("idleexit", 0, "exit after this long with no lease to acquire (0 = run until signaled)")
+	logJSON := fs.Bool("logjson", false, "structured logs as JSON on stderr (default: text)")
+	fs.Parse(args)
+	setupLogging(*logJSON)
+	if *workerN < 1 {
+		fmt.Fprintf(os.Stderr, "netsim: -workers %d < 1\n", *workerN)
+		os.Exit(2)
+	}
+	prefix := *name
+	if prefix == "" {
+		host, err := os.Hostname()
+		if err != nil {
+			host = "worker"
+		}
+		prefix = fmt.Sprintf("%s-%d", host, os.Getpid())
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	runner := sweep.Runner{Workers: *goroutines, Replicas: parseReplicas(*replicas)}
+	var wg sync.WaitGroup
+	for i := 0; i < *workerN; i++ {
+		w := &coordinator.Worker{
+			Client: &coordinator.Client{BaseURL: *server},
+			Build:  sweepserver.PointsFromSpec,
+			Runner: runner,
+			Name:   fmt.Sprintf("%s-%d", prefix, i),
+			Poll:   *poll,
+
+			IdleExit: *idleExit,
+			Log:      slog.Default(),
+		}
+		if *cacheDir != "" {
+			// Each worker journals under its own name; the shards all load
+			// every sibling journal on open, so a restarted fleet resumes
+			// from whatever any predecessor managed to compute.
+			c, err := sweepcache.OpenShard(*cacheDir, w.Name)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "netsim: %v\n", err)
+				os.Exit(1)
+			}
+			defer c.Close()
+			w.Cache = c
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := w.Run(ctx); err != nil && ctx.Err() == nil {
+				slog.Error("worker exited", "worker", w.Name, "err", err)
+			}
+		}()
+	}
+	slog.Info("workers running", "server", *server, "workers", *workerN, "prefix", prefix)
+	wg.Wait()
 }
 
 // printSaturation emits saturation points in the requested format; CSV goes

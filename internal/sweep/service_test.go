@@ -186,6 +186,31 @@ func TestMergeShardResultsRejectsBadInput(t *testing.T) {
 	if _, err := sweep.ShardPoints(points, 3, 3); err == nil {
 		t.Errorf("out-of-range shard index not rejected")
 	}
+
+	// Same-index duplicates that disagree on the key: for hashable points
+	// the per-point key check arbitrates, but an unhashable point (opaque
+	// Traffic) has no reference key — the duplicate rows must agree with
+	// each other, even when their metrics happen to match.
+	opaque := append([]sweep.Scenario{}, points...)
+	opaque[1].Traffic = sim.UniformTraffic{Rate: opaque[1].Rate}
+	oShard, err := sweep.ShardPoints(opaque, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oRows := oShard.ShardResults(sweep.Runner{}.Run(opaque))
+	if oRows[1].Key != "" {
+		t.Fatalf("opaque-traffic point unexpectedly hashable")
+	}
+	oRows[1].Key = "aaaa1111"
+	twoKeys := append(append([]sweep.ShardResult{}, oRows...), oRows[1])
+	twoKeys[len(twoKeys)-1].Key = "bbbb2222"
+	if _, err := sweep.MergeShardResults(opaque, twoKeys); err == nil {
+		t.Errorf("same-index duplicates with different keys not rejected")
+	}
+	sameKey := append(append([]sweep.ShardResult{}, oRows...), oRows[1])
+	if _, err := sweep.MergeShardResults(opaque, sameKey); err != nil {
+		t.Errorf("same-index duplicates with matching keys rejected: %v", err)
+	}
 }
 
 // mapCache is a minimal in-memory PointCache for tests.

@@ -1,0 +1,205 @@
+package sweepserver_test
+
+// End-to-end tests of distributed submissions: a GridSpec with Shards > 0
+// goes through the coordinator and an in-process Worker fleet speaking the
+// real HTTP lease protocol against the real server handler — the same wire
+// path `netsim work` uses — and must be indistinguishable from an
+// in-process run to every API consumer (stream, status, curve).
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"otisnet/internal/coordinator"
+	"otisnet/internal/sweep"
+	"otisnet/internal/sweepcache"
+	"otisnet/internal/sweepserver"
+)
+
+// startWorkers runs n in-process Workers against the server until the
+// returned stop function is called.
+func startWorkers(t *testing.T, ts *httptest.Server, n int, build coordinator.PointsBuilder) func() {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		w := &coordinator.Worker{
+			Client: &coordinator.Client{BaseURL: ts.URL},
+			Build:  build,
+			Runner: sweep.Runner{Workers: 1},
+			Cache:  sweepcache.NewMemory(),
+			Name:   string(rune('a' + i)),
+			Poll:   10 * time.Millisecond,
+			Log:    slog.New(slog.NewTextHandler(io.Discard, nil)),
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w.Run(ctx)
+		}()
+	}
+	stop := func() {
+		cancel()
+		wg.Wait()
+	}
+	t.Cleanup(stop)
+	return stop
+}
+
+func TestDistributedJobMatchesDirectRun(t *testing.T) {
+	ts := newTestServer(t)
+	startWorkers(t, ts, 3, sweepserver.PointsFromSpec)
+
+	spec := testSpec()
+	spec.Shards = 5
+	st := submit(t, ts, spec)
+	if st.ShardsTotal != 5 {
+		t.Fatalf("submit status shards_total %d, want 5", st.ShardsTotal)
+	}
+
+	grid, err := spec.Grid()
+	if err != nil {
+		t.Fatal(err)
+	}
+	points := grid.Points()
+	want := sweep.Runner{}.Run(points)
+
+	events := stream(t, ts, st.ID)
+	if len(events) != len(points) {
+		t.Fatalf("stream delivered %d events, want %d", len(events), len(points))
+	}
+	seen := map[int]bool{}
+	for _, ev := range events {
+		if seen[ev.Index] {
+			t.Fatalf("stream repeated point %d", ev.Index)
+		}
+		seen[ev.Index] = true
+		if ev.Record != sweep.NewRecord(want[ev.Index]) {
+			t.Fatalf("distributed point %d: served record %+v differs from direct run %+v",
+				ev.Index, ev.Record, sweep.NewRecord(want[ev.Index]))
+		}
+	}
+
+	var got sweepserver.Status
+	getJSON(t, ts, "/api/v1/sweeps/"+st.ID, &got)
+	if got.State != "done" || got.ShardsDone != 5 || got.Done != len(points) {
+		t.Fatalf("terminal status %+v", got)
+	}
+
+	// The curve endpoint serves a distributed job like any other.
+	resp, err := http.Get(ts.URL + "/api/v1/sweeps/" + st.ID + "/curve")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("curve of distributed job: status %d", resp.StatusCode)
+	}
+	var curve []map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&curve); err != nil {
+		t.Fatal(err)
+	}
+	if len(curve) == 0 {
+		t.Fatalf("distributed curve is empty")
+	}
+}
+
+// TestDistributedMergeFailureSurfaces runs the fleet with a corrupted
+// PointsBuilder — every worker expands the payload to a *different* grid
+// (shifted slot count), so its shard rows carry wrong cache keys. The
+// merge must fail the job: state "failed" with the merge error in the
+// status, the stream terminating, and the curve refused. No panics.
+func TestDistributedMergeFailureSurfaces(t *testing.T) {
+	ts := newTestServer(t)
+	skewed := func(payload []byte) ([]sweep.Scenario, error) {
+		points, err := sweepserver.PointsFromSpec(payload)
+		if err != nil {
+			return nil, err
+		}
+		for i := range points {
+			points[i].Slots++ // same point count, different computation
+		}
+		return points, nil
+	}
+	startWorkers(t, ts, 2, skewed)
+
+	spec := testSpec()
+	spec.Shards = 3
+	st := submit(t, ts, spec)
+
+	// The stream of a failed job terminates rather than hanging.
+	stream(t, ts, st.ID)
+
+	var got sweepserver.Status
+	getJSON(t, ts, "/api/v1/sweeps/"+st.ID, &got)
+	if got.State != "failed" || got.Error == "" {
+		t.Fatalf("status after key-skewed fleet: %+v, want state failed with a merge error", got)
+	}
+
+	resp, err := http.Get(ts.URL + "/api/v1/sweeps/" + st.ID + "/curve")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("curve of failed job: status %d, want %d", resp.StatusCode, http.StatusConflict)
+	}
+}
+
+func TestDistributedCancelPropagatesToLeases(t *testing.T) {
+	ts := newTestServer(t)
+	spec := testSpec()
+	spec.Shards = 4
+	spec.Slots = 4000 // slow enough that the job is mid-flight when we cancel
+	spec.Drain = 4000
+	spec.Seeds = []int64{1, 2, 3, 4, 5, 6, 7, 8}
+	st := submit(t, ts, spec)
+
+	// Acquire a lease directly — we are the worker here, so the test
+	// controls exactly when the cancel races the run.
+	client := &coordinator.Client{BaseURL: ts.URL}
+	g, ok, err := client.Acquire(context.Background(), "tester")
+	if err != nil || !ok {
+		t.Fatalf("acquire: ok=%v err=%v", ok, err)
+	}
+
+	resp, err := http.Post(ts.URL+"/api/v1/sweeps/"+st.ID+"/cancel", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	// The cancel invalidates the outstanding lease at the protocol level.
+	if _, err := client.Renew(context.Background(), "tester", g); !errors.Is(err, coordinator.ErrLeaseLost) {
+		t.Fatalf("renew after cancel: %v, want ErrLeaseLost", err)
+	}
+	var got sweepserver.Status
+	getJSON(t, ts, "/api/v1/sweeps/"+st.ID, &got)
+	if got.State != "canceled" {
+		t.Fatalf("state %q after cancel, want canceled", got.State)
+	}
+	// And the stream terminates.
+	stream(t, ts, st.ID)
+}
+
+func TestDistributedBadShardCount(t *testing.T) {
+	ts := newTestServer(t)
+	body := []byte(`{"topologies":[{"net":"sk","s":3,"d":2,"k":2}],"shards":-1}`)
+	resp, err := http.Post(ts.URL+"/api/v1/sweeps", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("negative shard count: status %d, want 400", resp.StatusCode)
+	}
+}

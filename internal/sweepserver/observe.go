@@ -62,10 +62,12 @@ type Observation struct {
 	Jobs    []JobObservation `json:"jobs"`
 }
 
-// observation reads one job's live progress.
+// observation reads one job's live progress. Status (via j.status())
+// includes per-shard progress for distributed jobs, so one observe call
+// covers the in-process pool and the worker fleet alike.
 func (j *job) observation(now time.Time) JobObservation {
+	st := j.status()
 	j.mu.Lock()
-	st := Status{ID: j.id, State: j.state, Points: len(j.points), Done: len(j.events), Cached: j.cached}
 	end := now
 	if !j.finished.IsZero() {
 		end = j.finished

@@ -24,6 +24,16 @@
 //	                             obs registry (and /debug/pprof/ when the
 //	                             server is built with Pprof set)
 //
+// Distributed execution (internal/coordinator): a grid submitted with
+// "shards" > 0 is not run in-process — its points split into leased
+// shards executed by `netsim work` processes over the worker protocol
+// the server also mounts:
+//
+//	POST /api/v1/leases/acquire    — worker asks for a shard lease
+//	POST /api/v1/leases/renew      — keep a lease alive
+//	POST /api/v1/leases/complete   — report a shard's result rows
+//	POST /api/v1/workers/heartbeat — idle-worker liveness
+//
 // Jobs are in-memory; the cache is what persists across restarts. A
 // resubmitted grid after a restart replays instantly from the cache.
 package sweepserver
@@ -31,6 +41,7 @@ package sweepserver
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"log/slog"
 	"net/http"
@@ -38,6 +49,7 @@ import (
 	"sync"
 	"time"
 
+	"otisnet/internal/coordinator"
 	"otisnet/internal/export"
 	"otisnet/internal/sweep"
 	"otisnet/internal/sweepcache"
@@ -51,6 +63,11 @@ type Server struct {
 	// Logger receives job-lifecycle events (submitted/done/canceled) with
 	// a job_id attribute on every record; nil means slog.Default().
 	Logger *slog.Logger
+	// Coord executes distributed submissions (GridSpec.Shards > 0) over
+	// the worker-lease protocol; Handler mounts its endpoints. New
+	// installs a default-configured coordinator — replace it before the
+	// first submission to tune lease TTLs (tests use short ones).
+	Coord *coordinator.Coordinator
 
 	runner sweep.Runner
 	cache  *sweepcache.Cache
@@ -76,6 +93,7 @@ func New(runner sweep.Runner, cache *sweepcache.Cache) *Server {
 		cache = sweepcache.NewMemory()
 	}
 	return &Server{
+		Coord:  coordinator.New(coordinator.Config{}),
 		runner: runner,
 		cache:  cache,
 		jobs:   make(map[string]*job),
@@ -105,6 +123,10 @@ const (
 	stateRunning  = "running"
 	stateDone     = "done"
 	stateCanceled = "canceled"
+	// stateFailed is reached only by distributed jobs whose shard rows
+	// fail to merge (a worker ran a different grid definition); in-process
+	// runs cannot produce conflicting rows.
+	stateFailed = "failed"
 )
 
 // StreamEvent is one NDJSON line of a result stream: the point's index in
@@ -119,44 +141,66 @@ type StreamEvent struct {
 // the terminal state change, which is what lets any number of stream
 // handlers tail the events slice without channels per subscriber.
 type job struct {
-	id      string
-	points  []sweep.Scenario
-	runner  sweep.Runner // the server runner, with any per-grid replicas override
-	cancel  context.CancelFunc
-	started time.Time
+	id       string
+	points   []sweep.Scenario
+	runner   sweep.Runner // the server runner, with any per-grid replicas override
+	cancel   context.CancelFunc
+	started  time.Time
+	coordJob *coordinator.Job // non-nil for distributed (sharded) jobs
 
 	mu       sync.Mutex
 	cond     *sync.Cond
 	events   []StreamEvent
 	cached   int
 	state    string
+	errMsg   string         // set when state == stateFailed
 	results  []sweep.Result // set when state == stateDone
 	finished time.Time      // set at the terminal state change
 }
 
-// Status is the JSON status of a job.
+// Status is the JSON status of a job. The Shards* fields appear only for
+// distributed jobs; Error only for failed ones.
 type Status struct {
-	ID     string `json:"id"`
-	State  string `json:"state"`
-	Points int    `json:"points"`
-	Done   int    `json:"done"`
-	Cached int    `json:"cached"`
+	ID           string `json:"id"`
+	State        string `json:"state"`
+	Points       int    `json:"points"`
+	Done         int    `json:"done"`
+	Cached       int    `json:"cached"`
+	ShardsTotal  int    `json:"shards_total,omitempty"`
+	ShardsDone   int    `json:"shards_done,omitempty"`
+	ShardsLeased int    `json:"shards_leased,omitempty"`
+	Error        string `json:"error,omitempty"`
 }
 
 func (j *job) status() Status {
 	j.mu.Lock()
-	defer j.mu.Unlock()
-	return Status{ID: j.id, State: j.state, Points: len(j.points), Done: len(j.events), Cached: j.cached}
+	st := Status{ID: j.id, State: j.state, Points: len(j.points), Done: len(j.events), Cached: j.cached, Error: j.errMsg}
+	j.mu.Unlock()
+	// Shard progress reads the coordinator after j.mu is released: hooks
+	// take j.mu with no coordinator lock held, so the two locks must never
+	// nest in the other order here.
+	if j.coordJob != nil {
+		p := j.coordJob.Progress()
+		st.ShardsTotal, st.ShardsDone, st.ShardsLeased = p.ShardsTotal, p.ShardsDone, p.ShardsLeased
+	}
+	return st
 }
 
 // submit registers a grid and starts executing it, returning the job
-// immediately.
+// immediately. Grids with Shards > 0 go to the coordinator's worker
+// fleet instead of the in-process runner.
 func (s *Server) submit(spec GridSpec) (*job, error) {
 	grid, err := spec.grid(s.buildTopo)
 	if err != nil {
 		return nil, err
 	}
 	points := grid.Points()
+	if spec.Shards < 0 {
+		return nil, fmt.Errorf("shards %d invalid (want >= 0)", spec.Shards)
+	}
+	if spec.Shards > 0 {
+		return s.submitDistributed(spec, points)
+	}
 	runner := s.runner
 	if spec.Replicas != nil {
 		if r := *spec.Replicas; r < sweep.AutoReplicas {
@@ -176,6 +220,87 @@ func (s *Server) submit(spec GridSpec) (*job, error) {
 	serverObs.running.Add(1)
 	s.logger().Info("sweep submitted", "job_id", j.id, "points", len(points), "replicas", runner.Replicas)
 	go s.run(ctx, j)
+	return j, nil
+}
+
+// submitDistributed hands the grid to the coordinator: points become
+// leased shards executed by `netsim work` processes, accepted shard rows
+// stream into the job's event log exactly like in-process progress
+// events, and the merged results (bit-for-bit equal to an in-process
+// RunCached) arrive through the OnDone hook. A merge failure — a worker
+// ran a different grid definition — lands the job in stateFailed with
+// the merge error in its status, never a panic.
+func (s *Server) submitDistributed(spec GridSpec, points []sweep.Scenario) (*job, error) {
+	payload, err := json.Marshal(spec)
+	if err != nil {
+		return nil, err
+	}
+	j := &job{points: points, state: stateRunning, started: time.Now()}
+	j.cond = sync.NewCond(&j.mu)
+	s.mu.Lock()
+	s.seq++
+	j.id = fmt.Sprintf("s%d", s.seq)
+	s.mu.Unlock()
+	hooks := coordinator.Hooks{
+		OnRows: func(rows []sweep.ShardResult) {
+			j.mu.Lock()
+			for _, row := range rows {
+				j.events = append(j.events, StreamEvent{
+					Index:  row.Index,
+					Cached: row.Cached,
+					Record: sweep.NewRecord(sweep.Result{Scenario: j.points[row.Index], Metrics: row.Metrics}),
+				})
+				if row.Cached {
+					j.cached++
+				}
+			}
+			j.mu.Unlock()
+			j.cond.Broadcast()
+		},
+		OnDone: func(results []sweep.Result, err error) {
+			j.mu.Lock()
+			switch {
+			case err == nil:
+				j.state = stateDone
+				j.results = results
+			case errors.Is(err, coordinator.ErrCanceled):
+				j.state = stateCanceled
+			default:
+				j.state = stateFailed
+				j.errMsg = err.Error()
+			}
+			j.finished = time.Now()
+			state, done, cached, elapsed := j.state, len(j.events), j.cached, j.finished.Sub(j.started)
+			j.mu.Unlock()
+			j.cond.Broadcast()
+			serverObs.running.Add(-1)
+			switch state {
+			case stateDone:
+				serverObs.completed.Add(1)
+				s.logger().Info("sweep done", "job_id", j.id, "points", len(j.points), "cached", cached, "elapsed", elapsed, "distributed", true)
+			case stateCanceled:
+				serverObs.canceled.Add(1)
+				s.logger().Info("sweep canceled", "job_id", j.id, "done", done, "points", len(j.points), "elapsed", elapsed, "distributed", true)
+			default:
+				s.logger().Error("sweep failed at merge", "job_id", j.id, "err", err, "distributed", true)
+			}
+		},
+	}
+	cj, err := s.Coord.Submit(j.id, points, payload, spec.Shards, spec.Priority, hooks)
+	if err != nil {
+		return nil, err
+	}
+	j.coordJob = cj
+	j.cancel = func() { s.Coord.Cancel(j.id) }
+	// Register only after coordJob is set: the job table is what makes j
+	// visible to status/stream handlers, which read j.coordJob unlocked.
+	s.mu.Lock()
+	s.jobs[j.id] = j
+	s.mu.Unlock()
+	serverObs.submitted.Add(1)
+	serverObs.running.Add(1)
+	s.logger().Info("sweep submitted", "job_id", j.id, "points", len(points),
+		"shards", cj.Progress().ShardsTotal, "priority", spec.Priority, "distributed", true)
 	return j, nil
 }
 
@@ -232,6 +357,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /api/v1/cache/stats", s.handleCacheStats)
 	mux.HandleFunc("GET /api/v1/observe", s.handleObserve)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.Coord.Mount(mux)
 	if s.Pprof {
 		registerPprof(mux)
 	}

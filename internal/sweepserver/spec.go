@@ -1,6 +1,7 @@
 package sweepserver
 
 import (
+	"encoding/json"
 	"fmt"
 
 	"otisnet/internal/faults"
@@ -30,6 +31,14 @@ type GridSpec struct {
 	// keeps per-scenario dispatch, >= 2 pins the batch size. Absent means
 	// the server default. Results are bit-for-bit identical either way.
 	Replicas *int `json:"replicas,omitempty"`
+	// Shards > 0 runs the grid distributed: the point list splits into
+	// this many leased shards executed by `netsim work` processes through
+	// the coordinator (internal/coordinator) instead of the in-process
+	// runner. Merged results are bit-for-bit identical to Shards = 0.
+	Shards int `json:"shards,omitempty"`
+	// Priority orders distributed jobs in the lease queue (higher first;
+	// ties go to earlier submissions). Ignored when Shards is 0.
+	Priority int `json:"priority,omitempty"`
 }
 
 // WorkloadSpec is the JSON form of workload.Spec.
@@ -100,6 +109,25 @@ func (fs FaultSpec) spec() (faults.Spec, error) {
 		return faults.Spec{}, fmt.Errorf("mtbf and mttr must be set together")
 	}
 	return faults.Spec{Kind: kind, Count: fs.Count, Slot: fs.Slot, MTBF: fs.MTBF, MTTR: fs.MTTR, Seed: fs.Seed}, nil
+}
+
+// PointsFromSpec expands a GridSpec JSON payload into the grid's point
+// list — the coordinator.PointsBuilder used by `netsim work`. Both ends
+// of the worker protocol run exactly this expansion (the server when it
+// submits the job, the worker when it receives a lease), and
+// TopoSpec.Build plus Grid.Points are deterministic, so the shard-row
+// cache keys line up at merge time whenever the two binaries agree on
+// engine semantics — and fail the merge loudly when they do not.
+func PointsFromSpec(payload []byte) ([]sweep.Scenario, error) {
+	var spec GridSpec
+	if err := json.Unmarshal(payload, &spec); err != nil {
+		return nil, fmt.Errorf("sweepserver: bad grid payload: %w", err)
+	}
+	grid, err := spec.Grid()
+	if err != nil {
+		return nil, err
+	}
+	return grid.Points(), nil
 }
 
 // Grid builds the live sweep.Grid: topologies are constructed and

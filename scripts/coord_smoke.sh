@@ -1,0 +1,78 @@
+#!/usr/bin/env bash
+# Two-process end-to-end smoke of the distributed sweep coordinator:
+# starts one `netsim serve` (coordinator) and two `netsim work` fleets
+# (separate OS processes speaking the real HTTP lease protocol), submits
+# a sharded grid, waits for the worker fleet to run it to completion, and
+# asserts the coordinator metric families show up on /metrics. This is
+# the cross-process complement of the in-process chaos tests in
+# internal/coordinator — it proves the shipped binary wires the same
+# pieces together.
+#
+# Usage: scripts/coord_smoke.sh            # default 127.0.0.1:18090
+#        ADDR=127.0.0.1:9999 scripts/coord_smoke.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+ADDR="${ADDR:-127.0.0.1:18090}"
+TMP="$(mktemp -d)"
+BIN="$TMP/netsim"
+go build -o "$BIN" ./cmd/netsim
+
+SERVER=""
+W1=""
+W2=""
+cleanup() {
+  kill "$SERVER" "$W1" "$W2" 2>/dev/null || true
+  rm -rf "$TMP"
+}
+trap cleanup EXIT
+
+"$BIN" serve -addr "$ADDR" -cachedir "$TMP/cache" -logjson 2>"$TMP/serve.log" &
+SERVER=$!
+for _ in $(seq 1 50); do
+  curl -fsS "http://$ADDR/metrics" >/dev/null 2>&1 && break
+  sleep 0.2
+done
+
+"$BIN" work -server "http://$ADDR" -workers 2 -name fleet-a \
+  -cachedir "$TMP/cache" -idleexit 120s -logjson 2>"$TMP/work-a.log" &
+W1=$!
+"$BIN" work -server "http://$ADDR" -workers 2 -name fleet-b \
+  -cachedir "$TMP/cache" -idleexit 120s -logjson 2>"$TMP/work-b.log" &
+W2=$!
+
+SUBMIT=$(curl -fsS -X POST "http://$ADDR/api/v1/sweeps" -d '{
+  "topologies": [{"net":"sk","s":3,"d":2,"k":2}],
+  "rates": [0.1, 0.2], "seeds": [1, 2, 3],
+  "slots": 200, "drain": 200, "shards": 4
+}')
+ID=$(printf '%s' "$SUBMIT" | sed -n 's/.*"id": *"\([^"]*\)".*/\1/p')
+test -n "$ID" || { echo "no job id in: $SUBMIT"; exit 1; }
+echo "submitted distributed job $ID"
+
+STATE=""
+for _ in $(seq 1 150); do
+  STATUS=$(curl -fsS "http://$ADDR/api/v1/sweeps/$ID")
+  STATE=$(printf '%s' "$STATUS" | sed -n 's/.*"state": *"\([^"]*\)".*/\1/p')
+  case "$STATE" in
+    done) break ;;
+    failed|canceled) echo "job ended $STATE: $STATUS"; exit 1 ;;
+  esac
+  sleep 0.2
+done
+if [ "$STATE" != "done" ]; then
+  echo "job never finished; last status: $STATUS"
+  cat "$TMP"/work-*.log >&2 || true
+  exit 1
+fi
+printf '%s' "$STATUS" | grep -q '"shards_done": *4' || { echo "bad shard count: $STATUS"; exit 1; }
+echo "job $ID done across the worker fleet"
+
+curl -fsS "http://$ADDR/metrics" > "$TMP/metrics.txt"
+grep -q '# TYPE netsim_coord_leases_granted_total counter' "$TMP/metrics.txt"
+grep -q '# TYPE netsim_coord_shards_completed_total counter' "$TMP/metrics.txt"
+grep -q '# TYPE netsim_coord_workers_live gauge' "$TMP/metrics.txt"
+grep -q '# TYPE netsim_coord_jobs_completed_total counter' "$TMP/metrics.txt"
+grep -Eq '^netsim_coord_jobs_completed_total [1-9]' "$TMP/metrics.txt"
+echo "coordinator metric families present on /metrics"
+echo "coord smoke OK"
