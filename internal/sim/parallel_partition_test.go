@@ -1,0 +1,112 @@
+package sim
+
+// Table-driven unit tests for the shard partitioner: every index must be
+// covered exactly once for every worker count — including P far beyond
+// the coupler count, where trailing shards are empty — and the flattened
+// word->owner lookup must agree with the boundaries it was built from.
+
+import (
+	"testing"
+
+	"otisnet/internal/digraph"
+)
+
+func TestShardRangesCoverage(t *testing.T) {
+	totals := []int{0, 1, 5, 63, 64, 65, 100, 127, 128, 192, 1000, 4096, 12288}
+	ps := []int{1, 2, 3, 4, 5, 7, 8, 16, 63, 64}
+	for _, total := range totals {
+		for _, p := range ps {
+			b := shardRanges(total, p)
+			if len(b) != p+1 {
+				t.Fatalf("shardRanges(%d,%d): %d boundaries, want %d", total, p, len(b), p+1)
+			}
+			if b[0] != 0 || b[p] != int32(total) {
+				t.Fatalf("shardRanges(%d,%d): bounds [%d,%d], want [0,%d]", total, p, b[0], b[p], total)
+			}
+			for i := 1; i <= p; i++ {
+				if b[i] < b[i-1] {
+					t.Fatalf("shardRanges(%d,%d): boundary %d decreases (%d < %d)", total, p, i, b[i], b[i-1])
+				}
+				if i < p && b[i]%64 != 0 {
+					t.Fatalf("shardRanges(%d,%d): interior boundary %d = %d not 64-aligned", total, p, i, b[i])
+				}
+			}
+			// Contiguous monotone boundaries from 0 to total cover every
+			// index exactly once by construction; verify the per-index
+			// owner is well-defined and matches the word lookup.
+			ow := ownerWords(b, total)
+			if want := (total + 63) / 64; len(ow) != want {
+				t.Fatalf("ownerWords(%d,%d): %d words, want %d", total, p, len(ow), want)
+			}
+			owner := 0
+			for x := 0; x < total; x++ {
+				for int32(x) >= b[owner+1] {
+					owner++
+				}
+				if got := int(ow[x>>6]); got != owner {
+					t.Fatalf("ownerWords(%d,%d): index %d owned by %d, boundaries say %d", total, p, x, got, owner)
+				}
+			}
+		}
+	}
+}
+
+func TestShardRangesEmptyShards(t *testing.T) {
+	// P far beyond total/64: the word supply runs out and trailing shards
+	// must be empty, never overlapping.
+	b := shardRanges(10, 16)
+	nonEmpty := 0
+	for i := 0; i < 16; i++ {
+		if b[i+1] > b[i] {
+			nonEmpty++
+		}
+	}
+	if nonEmpty != 1 {
+		t.Fatalf("shardRanges(10,16): %d non-empty shards, want 1 (one word of 10 couplers)", nonEmpty)
+	}
+}
+
+// TestParallelFallbackThreshold pins the engagement contract: an armed
+// engine with fewer active nodes than the threshold steps serially (no
+// parallel slots tallied), and forcing the threshold to zero routes the
+// same workload through the sharded path.
+func TestParallelFallbackThreshold(t *testing.T) {
+	topo := lineTopo(64)
+	run := func(threshold int) (parSlots int64, m Metrics) {
+		e := NewEngine(topo, Config{Seed: 1})
+		defer e.Close()
+		e.SetParallel(4)
+		e.SetParallelThreshold(threshold)
+		for s := 0; s < 50; s++ {
+			e.Inject(s%64, (s+7)%64)
+			e.Step()
+		}
+		for e.Backlog() > 0 {
+			e.Step()
+		}
+		return e.obs.parSlots, e.Metrics()
+	}
+	serialSlots, mSerial := run(defaultParallelThreshold)
+	if serialSlots != 0 {
+		t.Fatalf("below-threshold run used the parallel path for %d slots", serialSlots)
+	}
+	parSlots, mPar := run(0)
+	if parSlots == 0 {
+		t.Fatal("threshold-0 run never used the parallel path")
+	}
+	if mSerial != mPar {
+		t.Fatalf("fallback and parallel runs diverged:\nserial   %v\nparallel %v", mSerial, mPar)
+	}
+}
+
+// lineTopo builds a doubly linked point-to-point ring — the smallest
+// strongly connected topology with per-node routing choice — for the
+// internal threshold test.
+func lineTopo(n int) Topology {
+	g := digraph.New(n)
+	for u := 0; u < n; u++ {
+		g.AddArc(u, (u+1)%n)
+		g.AddArc(u, (u+n-1)%n)
+	}
+	return NewPointToPointTopology(g)
+}

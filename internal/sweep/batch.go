@@ -16,6 +16,7 @@ package sweep
 
 import (
 	"context"
+	"sync"
 	"time"
 
 	"otisnet/internal/faults"
@@ -150,11 +151,49 @@ func (r Runner) runBatched(ctx context.Context, points []Scenario, cache PointCa
 	rep := r.replicas(points)
 	batches := planBatches(points, rep)
 	results := make([]Result, len(points))
-	err := r.fanScopedCtx(ctx, len(batches), func() func(int) {
-		w := batchWorker{rep: rep, sh: obs.NextShard()}
-		return func(bi int) { w.run(batches[bi], points, results, cache, progress) }
+	err := r.fanScopedCtx(ctx, len(batches), func() (func(int), func()) {
+		w := &batchWorker{rep: rep, par: r.parallel(), sh: obs.NextShard()}
+		return func(bi int) { w.run(batches[bi], points, results, cache, progress) }, w.release
 	})
 	return results, err
+}
+
+// setPool recycles warmed batchSets across Runner invocations. A
+// batchSet's dominant allocation cost is not the topology compile but
+// the ring warm-up: every saturated replica's queue buffers double up
+// from empty toward the sweep's high-water mark, and while
+// ReplicaSet.Configure keeps those buffers across batches, a fresh
+// Runner used to pay the whole warm-up again. Pooling per topology
+// fingerprint carries the warmed storage across sweeps, so a process
+// that sweeps the same structures repeatedly (sweepd, benchmarks,
+// repeated CLI grids) allocates its ring chains once. Reuse is sound
+// exactly because the fingerprint is content-addressed: equal
+// fingerprints mean simulation-equivalent structure, and Configure
+// re-arms every replica from its spec alone, so results stay
+// bit-for-bit identical to a cold set.
+var setPool struct {
+	mu   sync.Mutex
+	sets []batchSet
+}
+
+// maxPooledSets bounds the recycler so a process that touches many
+// distinct topologies cannot accumulate unbounded warmed slabs; sets
+// released beyond the cap are dropped for the GC.
+const maxPooledSets = 16
+
+// release returns the worker's warmed sets to the recycler. Parallel
+// crews are torn down first — pooled sets must not park goroutines —
+// but their ring and slab storage stays warm.
+func (w *batchWorker) release() {
+	setPool.mu.Lock()
+	for i := range w.sets {
+		w.sets[i].rset.Close()
+		if len(setPool.sets) < maxPooledSets {
+			setPool.sets = append(setPool.sets, w.sets[i])
+		}
+	}
+	setPool.mu.Unlock()
+	w.sets = nil
 }
 
 // batchWorker is one goroutine's reusable batched-simulation state: a
@@ -163,6 +202,7 @@ func (r Runner) runBatched(ctx context.Context, points []Scenario, cache PointCa
 // a batch allocates nothing in steady state.
 type batchWorker struct {
 	rep  int
+	par  int // intra-run shard count each set is armed with
 	sh   int // counter shard hint, one per worker goroutine
 	sets []batchSet
 
@@ -190,10 +230,41 @@ func (w *batchWorker) set(fp string, base sim.Topology) *batchSet {
 			return &w.sets[i]
 		}
 	}
-	w.sets = append(w.sets, batchSet{
-		fp: fp, base: base, rset: sim.NewReplicaSet(base), fts: make([]*faults.FaultedTopology, w.rep),
-	})
-	return &w.sets[len(w.sets)-1]
+	if bs, ok := takePooled(fp); ok {
+		// A recycled set keeps its own base (and the fault wrappers over
+		// it): equal fingerprints guarantee identical simulation, and the
+		// wrappers' plans are regenerated per batch via SetPlan.
+		for len(bs.fts) < w.rep {
+			bs.fts = append(bs.fts, nil)
+		}
+		w.sets = append(w.sets, bs)
+	} else {
+		w.sets = append(w.sets, batchSet{
+			fp: fp, base: base, rset: sim.NewReplicaSet(base), fts: make([]*faults.FaultedTopology, w.rep),
+		})
+	}
+	bs := &w.sets[len(w.sets)-1]
+	if w.par > 1 {
+		bs.rset.SetParallel(w.par)
+	}
+	return bs
+}
+
+// takePooled pops a recycled set for the fingerprint, if one is parked.
+func takePooled(fp string) (batchSet, bool) {
+	setPool.mu.Lock()
+	defer setPool.mu.Unlock()
+	for i := range setPool.sets {
+		if setPool.sets[i].fp == fp {
+			bs := setPool.sets[i]
+			last := len(setPool.sets) - 1
+			setPool.sets[i] = setPool.sets[last]
+			setPool.sets[last] = batchSet{}
+			setPool.sets = setPool.sets[:last]
+			return bs, true
+		}
+	}
+	return batchSet{}, false
 }
 
 // run executes one batch: cache hits are peeled off point by point, the

@@ -242,13 +242,37 @@ type Runner struct {
 	// AutoReplicas picks a batch size from the grid shape and worker
 	// count. Results are bit-for-bit identical either way.
 	Replicas int
+	// Parallel is the intra-run shard count: every engine (and replica
+	// set) a worker builds is armed with sim.SetParallel(Parallel), so a
+	// single scenario's slot loop is itself sharded across goroutines.
+	// 0 or 1 leaves runs serial — the right default for sweeps, where
+	// scenario-level fan-out already saturates the machine. When
+	// Parallel > 1 and Workers is unset, the default pool shrinks to
+	// GOMAXPROCS/Parallel so the combined goroutine budget stays at
+	// GOMAXPROCS. Parallelism never changes results or cache keys.
+	Parallel int
 }
 
 func (r Runner) workers() int {
 	if r.Workers > 0 {
 		return r.Workers
 	}
-	return runtime.GOMAXPROCS(0)
+	w := runtime.GOMAXPROCS(0)
+	if p := r.parallel(); p > 1 {
+		w /= p
+		if w < 1 {
+			w = 1
+		}
+	}
+	return w
+}
+
+// parallel resolves the intra-run shard count (1 means serial).
+func (r Runner) parallel() int {
+	if r.Parallel > 1 {
+		return r.Parallel
+	}
+	return 1
 }
 
 // Run executes every scenario and returns results in input order. Each
@@ -298,10 +322,10 @@ func (r Runner) RunCached(ctx context.Context, points []Scenario, cache PointCac
 		return r.runBatched(ctx, points, cache, progress)
 	}
 	results := make([]Result, len(points))
-	err := r.fanScopedCtx(ctx, len(points), func() func(int) {
-		var engines engineCache
+	err := r.fanScopedCtx(ctx, len(points), func() (func(int), func()) {
+		engines := &engineCache{par: r.parallel()}
 		sh := obs.NextShard()
-		return func(i int) {
+		fn := func(i int) {
 			sweepObs.started.AddShard(sh, 1)
 			p := points[i]
 			key, hashable := "", false
@@ -329,6 +353,7 @@ func (r Runner) RunCached(ctx context.Context, points []Scenario, cache PointCac
 				progress(i, results[i], false)
 			}
 		}
+		return fn, engines.close
 	})
 	return results, err
 }
@@ -337,6 +362,7 @@ func (r Runner) RunCached(ctx context.Context, points []Scenario, cache PointCac
 // keyed by base-topology identity. Grids name only a handful of
 // topologies, so a linear scan beats hashing interface values.
 type engineCache struct {
+	par     int // intra-run shard count each engine is armed with
 	entries []cacheEntry
 }
 
@@ -368,6 +394,7 @@ func (c *engineCache) run(p Scenario) sim.Metrics {
 	if p.Fault.IsZero() {
 		if ent.eng == nil {
 			ent.eng = sim.NewEngine(ent.base, cfg)
+			c.arm(ent.eng)
 		}
 		return ent.eng.Run(p.traffic(), p.Slots, p.Drain, cfg)
 	}
@@ -375,10 +402,32 @@ func (c *engineCache) run(p Scenario) sim.Metrics {
 	if ent.ft == nil {
 		ent.ft = faults.Wrap(ent.base, plan)
 		ent.ftEng = sim.NewEngine(ent.ft, cfg)
+		c.arm(ent.ftEng)
 	} else {
 		ent.ft.SetPlan(plan)
 	}
 	return ent.ftEng.Run(p.traffic(), p.Slots, p.Drain, cfg)
+}
+
+// arm enables intra-run parallelism on a freshly built engine when the
+// runner asks for it.
+func (c *engineCache) arm(e *sim.Engine) {
+	if c.par > 1 {
+		e.SetParallel(c.par)
+	}
+}
+
+// close releases the parallel crews of every cached engine; serial
+// engines are unaffected (Close is a no-op for them).
+func (c *engineCache) close() {
+	for i := range c.entries {
+		if c.entries[i].eng != nil {
+			c.entries[i].eng.Close()
+		}
+		if c.entries[i].ftEng != nil {
+			c.entries[i].ftEng.Close()
+		}
+	}
 }
 
 // RunGrid expands the grid and runs it.
@@ -433,20 +482,23 @@ func (r Runner) Saturate(g Grid, slots int, sustainFraction float64, seed int64)
 
 // fan runs fn(0..n-1) across the worker pool and waits for completion.
 func (r Runner) fan(n int, fn func(i int)) {
-	r.fanScoped(n, func() func(int) { return fn })
+	r.fanScoped(n, func() (func(int), func()) { return fn, nil })
 }
 
 // fanScoped runs fn(0..n-1) across the worker pool, building one private
 // state (e.g. an engine cache) per worker goroutine via newWorker, and
 // waits for completion.
-func (r Runner) fanScoped(n int, newWorker func() func(i int)) {
+func (r Runner) fanScoped(n int, newWorker func() (func(i int), func())) {
 	r.fanScopedCtx(context.Background(), n, newWorker)
 }
 
 // fanScopedCtx is fanScoped with cooperative cancellation: once ctx is
 // done, no further indices are handed out (indices already claimed by a
-// worker finish normally) and ctx.Err() is returned.
-func (r Runner) fanScopedCtx(ctx context.Context, n int, newWorker func() func(i int)) error {
+// worker finish normally) and ctx.Err() is returned. newWorker returns
+// the per-index body plus an optional teardown, run when the worker
+// drains — the hook that releases parallel-armed engines and returns
+// warmed replica sets to the recycler.
+func (r Runner) fanScopedCtx(ctx context.Context, n int, newWorker func() (func(i int), func())) error {
 	workers := r.workers()
 	if workers > n {
 		workers = n
@@ -460,7 +512,10 @@ func (r Runner) fanScopedCtx(ctx context.Context, n int, newWorker func() func(i
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			fn := newWorker()
+			fn, done := newWorker()
+			if done != nil {
+				defer done()
+			}
 			for i := range idx {
 				fn(i)
 			}
