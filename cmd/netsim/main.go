@@ -1,8 +1,9 @@
 // Command netsim runs slotted-time traffic simulations over the paper's
 // networks: stack-Kautz (multi-hop multi-OPS), POPS (single-hop multi-OPS)
 // and the de Bruijn point-to-point baseline, under pluggable workloads
-// (uniform, OTIS transpose, group hotspot, bursty on/off, collective
-// replay), with store-and-forward or hot-potato deflection routing.
+// (uniform, OTIS transpose, group hotspot, bursty on/off, multi-period
+// diurnal bursts, recorded-trace replay, collective replay), with
+// store-and-forward or hot-potato deflection routing.
 //
 // One scenario at a time:
 //
@@ -36,6 +37,15 @@
 //	go run ./cmd/netsim -net pops -t 4 -g 4 -workload collective -collective gossip
 //	go run ./cmd/netsim -net all -sweep -workload uniform,transpose,hotspot,bursty
 //
+// Empirical workloads: replay a recorded trace (CSV/NDJSON events or rate
+// schedules, cache-keyed by content fingerprint), generate diurnal
+// bursts-of-bursts load, or synthesize fresh traces:
+//
+//	go run ./cmd/netsim -net sk -workload trace -tracefile examples/traces/day_rates.csv
+//	go run ./cmd/netsim -net all -sweep -workload trace -tracefile examples/traces/burst_events.ndjson
+//	go run ./cmd/netsim -net sk -workload multiperiod -period 2000 -amplitude 0.8
+//	go run ./cmd/netsim synthtrace -form events -slots 2000 -nodes 72 -out day.ndjson -ndjson
+//
 // Service layer (PR 5): sweeps cache and resume through a content-addressed
 // result store, split across processes, and serve over HTTP:
 //
@@ -62,7 +72,6 @@ import (
 	"fmt"
 	"log/slog"
 	"math"
-	"math/rand"
 	"net/http"
 	"os"
 	"os/signal"
@@ -105,6 +114,10 @@ func main() {
 		runWork(os.Args[2:])
 		return
 	}
+	if len(os.Args) > 1 && os.Args[1] == "synthtrace" {
+		runSynthTrace(os.Args[2:])
+		return
+	}
 	var (
 		net       = flag.String("net", "sk", `topology: "sk", "pops", "stackii", "debruijn" or "all" (sweep only)`)
 		t         = flag.Int("t", 4, "POPS group size t")
@@ -130,12 +143,18 @@ func main() {
 		traceSample = flag.Int("tracesample", 1, "single run: with -trace, emit events every Nth slot")
 		logJSON     = flag.Bool("logjson", false, "structured logs as JSON on stderr (default: text)")
 
-		workloadF   = flag.String("workload", "uniform", `workload: "uniform", "transpose", "hotspot", "bursty" or "collective"; sweep: comma list (no collective)`)
-		hotGroup    = flag.Int("hotgroup", 0, "hotspot workload: target group index")
+		workloadF   = flag.String("workload", "uniform", `workload: "uniform", "transpose", "hotspot", "bursty", "trace", "multiperiod" or "collective"; sweep: comma list (no collective)`)
+		hotGroup    = flag.Int("hotgroup", 0, "hotspot workload: target group index (wraps modulo each topology's group count)")
 		hotFrac     = flag.Float64("hotfrac", 0.3, "hotspot workload: fraction of load skewed to the hot group")
-		burstOn     = flag.Float64("burston", 50, "bursty workload: mean burst duration (slots)")
-		burstOff    = flag.Float64("burstoff", 150, "bursty workload: mean gap duration (slots)")
-		burstLow    = flag.Float64("burstlow", 0, "bursty workload: off-state rate factor in [0,1]")
+		burstOn     = flag.Float64("burston", 50, "bursty/multiperiod workload: mean burst duration (slots)")
+		burstOff    = flag.Float64("burstoff", 150, "bursty/multiperiod workload: mean gap duration (slots)")
+		burstLow    = flag.Float64("burstlow", 0, "bursty/multiperiod workload: off-state rate factor in [0,1]")
+		traceFile   = flag.String("tracefile", "", "trace workload: CSV/NDJSON trace file of (slot,src,dst) events or (slot,rate) records (see `netsim synthtrace`)")
+		period      = flag.Int("period", 1000, "multiperiod workload: diurnal period (slots; <= 1 disables the ramp)")
+		amplitude   = flag.Float64("amplitude", 0.6, "multiperiod workload: diurnal modulation depth in [0,1]")
+		episodeOn   = flag.Float64("episodeon", 400, "multiperiod workload: mean busy-episode length (slots)")
+		episodeOff  = flag.Float64("episodeoff", 800, "multiperiod workload: mean gap between episodes (slots)")
+		rateSigma   = flag.Float64("ratesigma", 0.35, "multiperiod workload: per-episode peak multiplier sigma (log-half-normal)")
 		collectiveF = flag.String("collective", "broadcast", `collective workload: "broadcast" or "gossip" (gossip: POPS only)`)
 
 		faultN    = flag.Int("faults", 0, "fault injection: number of elements to fail (0 = none)")
@@ -164,6 +183,13 @@ func main() {
 
 	explicit := map[string]bool{}
 	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+	wf := workloadFlags{
+		HotGroup: *hotGroup, HotFrac: *hotFrac,
+		BurstOn: *burstOn, BurstOff: *burstOff, BurstLow: *burstLow,
+		TraceFile: *traceFile, Period: *period, Amplitude: *amplitude,
+		EpisodeOn: *episodeOn, EpisodeOff: *episodeOff, RateSigma: *rateSigma,
+		Explicit: explicit,
+	}
 	if explicit["traffic"] && explicit["workload"] {
 		fmt.Fprintln(os.Stderr, "netsim: -traffic (legacy) conflicts with -workload; use one")
 		os.Exit(2)
@@ -271,9 +297,10 @@ func main() {
 		o := sweepOpts{
 			net: *net, t: *t, g: *g, s: *s, d: *d, k: *k, n: *n,
 			traffic: *traffic, trafficSet: explicit["traffic"],
-			workloads: *workloadF, hotGroup: *hotGroup, hotFrac: *hotFrac,
-			burstOn: *burstOn, burstOff: *burstOff, burstLow: *burstLow,
-			rates: *rateList, seeds: *seeds, modes: *modes,
+			workloads: *workloadF, wf: wf,
+			rateExplicit: explicit["rate"] || explicit["rates"],
+			burst:        *burst,
+			rates:        *rateList, seeds: *seeds, modes: *modes,
 			waves: *waveList, slots: *slots, drain: *drain, maxQ: *maxQ,
 			seed: *seed, workers: *workers, replicas: parseReplicas(*replicas), parallel: *parallelF, format: *format, raw: *raw,
 			saturate: *saturate,
@@ -333,31 +360,37 @@ func main() {
 		desc += " faults=" + spec.Label()
 	}
 
-	// newTraffic builds a fresh generator per run: bursty (and other
-	// stateful) workloads must not carry modulation state from one
-	// repetition into the next.
+	// newTraffic builds a fresh generator per run: bursty, trace and other
+	// stateful workloads must not carry state from one repetition into the
+	// next.
 	trafficName := *traffic
 	var newTraffic func() sim.Traffic
 	if explicit["traffic"] {
 		// Legacy single-run traffic models, kept for script compatibility;
 		// -workload is the richer replacement.
-		switch *traffic {
-		case "uniform":
-			newTraffic = func() sim.Traffic { return sim.UniformTraffic{Rate: *rate} }
-		case "perm":
-			newTraffic = func() sim.Traffic {
-				return sim.NewPermutationTraffic(*rate, topo.Nodes(), rand.New(rand.NewSource(*seed)))
-			}
-		case "hotspot":
-			newTraffic = func() sim.Traffic { return sim.HotspotTraffic{Rate: *rate, Hot: 0, Fraction: 0.3} }
-		case "burst":
-			newTraffic = func() sim.Traffic { return sim.BurstTraffic{Messages: *burst} }
-		default:
-			fmt.Fprintf(os.Stderr, "netsim: unknown traffic %q\n", *traffic)
+		factory, err := legacyTraffic(*traffic, topo.Nodes(), *seed, *burst, wf)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "netsim: %v\n", err)
 			os.Exit(2)
 		}
+		newTraffic = func() sim.Traffic { return factory(*rate) }
 	} else {
-		wspec := workloadSpec(*workloadF, *hotGroup, *hotFrac, *burstOn, *burstOff, *burstLow, topo.Nodes(), groupSize)
+		wspecs, err := wf.specs(*workloadF)
+		if err == nil && len(wspecs) != 1 {
+			err = fmt.Errorf("one workload per single run (add -sweep to sweep a comma list)")
+		}
+		var force bool
+		if err == nil {
+			force, err = traceRateOverride(wspecs, explicit["rate"])
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "netsim: %v\n", err)
+			os.Exit(2)
+		}
+		if force {
+			*rate = 1 // traces replay/scale as recorded unless -rate says otherwise
+		}
+		wspec := wspecs[0]
 		newTraffic = func() sim.Traffic { return wspec.New(*rate, topo.Nodes(), groupSize) }
 		trafficName = wspec.Label()
 	}
@@ -467,40 +500,6 @@ func (s *stats) stddev() float64 {
 	return math.Sqrt(v)
 }
 
-// workloadSpec assembles and validates the workload spec shared by the
-// single-run and sweep paths.
-func workloadSpec(kind string, hotGroup int, hotFrac, burstOn, burstOff, burstLow float64, nodes, groupSize int) workload.Spec {
-	k, err := workload.ParseKind(kind)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "netsim: %v\n", err)
-		os.Exit(2)
-	}
-	switch k {
-	case workload.KindHotspot:
-		groups := nodes
-		if groupSize > 1 {
-			groups = nodes / groupSize
-		}
-		if hotGroup < 0 || hotGroup >= groups {
-			fmt.Fprintf(os.Stderr, "netsim: -hotgroup %d out of range (topology has %d groups)\n", hotGroup, groups)
-			os.Exit(2)
-		}
-		if hotFrac < 0 || hotFrac > 1 {
-			fmt.Fprintln(os.Stderr, "netsim: -hotfrac must be a probability in [0,1]")
-			os.Exit(2)
-		}
-		return workload.Spec{Kind: k, HotGroup: hotGroup, Fraction: hotFrac}
-	case workload.KindBursty:
-		if burstOn < 1 || burstOff < 1 || burstLow < 0 || burstLow > 1 {
-			fmt.Fprintln(os.Stderr, "netsim: bursty workload wants -burston >= 1, -burstoff >= 1 and -burstlow in [0,1]")
-			os.Exit(2)
-		}
-		return workload.Spec{Kind: k, MeanOn: burstOn, MeanOff: burstOff, OffFactor: burstLow}
-	default:
-		return workload.Spec{Kind: k}
-	}
-}
-
 // runCollective replays a collective-communication schedule through the
 // live engine (the dynamic T9 of DESIGN.md) and prints per-round delivery
 // against the schedule's intent and the information-theoretic lower bound.
@@ -567,10 +566,9 @@ type sweepOpts struct {
 	traffic             string
 	trafficSet          bool // -traffic was explicit: legacy factory path
 	workloads           string
-	hotGroup            int
-	hotFrac             float64
-	burstOn, burstOff   float64
-	burstLow            float64
+	wf                  workloadFlags
+	rateExplicit        bool // -rate/-rates was explicit (trace-axis rules)
+	burst               int  // legacy -traffic burst message count
 	rates, modes, waves string
 	seeds               int
 	seedList            []int64 // non-nil overrides seeds (explicit -seed)
@@ -599,23 +597,6 @@ func runSweep(o sweepOpts) {
 		fmt.Fprintf(os.Stderr, "netsim: bad sweep format %q (want table, csv or json)\n", o.format)
 		os.Exit(2)
 	}
-	var factory sweep.TrafficFactory
-	trafficName := ""
-	if o.trafficSet {
-		// Legacy -traffic factory path, kept for script compatibility.
-		switch o.traffic {
-		case "uniform":
-			// Grid default; leave factory nil.
-		case "hotspot":
-			factory = func(rate float64) sim.Traffic {
-				return sim.HotspotTraffic{Rate: rate, Hot: 0, Fraction: 0.3}
-			}
-		default:
-			fmt.Fprintf(os.Stderr, "netsim: traffic %q is not sweepable (want uniform or hotspot, or use -workload)\n", o.traffic)
-			os.Exit(2)
-		}
-		trafficName = o.traffic
-	}
 	var topos []sweep.Topology
 	if o.net == "all" {
 		topos = sweep.ComparableScaleTrio()
@@ -623,18 +604,49 @@ func runSweep(o sweepOpts) {
 		topo, desc, groupSize := buildTopology(o.net, o.t, o.g, o.s, o.d, o.k, o.n)
 		topos = []sweep.Topology{{Name: desc, Topo: topo, GroupSize: groupSize}}
 	}
+	var factory sweep.TrafficFactory
+	trafficName := ""
+	if o.trafficSet {
+		// Legacy -traffic factory path, kept for script compatibility. Only
+		// the stateless models sweep (perm pins one permutation per seed and
+		// burst ignores rate; both would mislabel grid points).
+		switch o.traffic {
+		case "uniform", "hotspot":
+		default:
+			fmt.Fprintf(os.Stderr, "netsim: traffic %q is not sweepable (want uniform or hotspot, or use -workload)\n", o.traffic)
+			os.Exit(2)
+		}
+		minNodes := topos[0].Topo.Nodes()
+		for _, tp := range topos[1:] {
+			if n := tp.Topo.Nodes(); n < minNodes {
+				minNodes = n
+			}
+		}
+		f, err := legacyTraffic(o.traffic, minNodes, o.seed, o.burst, o.wf)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "netsim: %v\n", err)
+			os.Exit(2)
+		}
+		if o.traffic != "uniform" {
+			factory = f // uniform is the grid default; leave factory nil
+		}
+		trafficName = o.traffic
+	}
 	var wspecs []workload.Spec
 	if !o.trafficSet {
-		for _, w := range strings.Split(o.workloads, ",") {
-			w = strings.TrimSpace(w)
-			if w == "" {
-				continue
-			}
-			// Range checks use the first topology; Spec.New materializes
-			// per topology inside the sweep.
-			wspecs = append(wspecs, workloadSpec(w, o.hotGroup, o.hotFrac,
-				o.burstOn, o.burstOff, o.burstLow, topos[0].Topo.Nodes(), topos[0].GroupSize))
+		ws, err := o.wf.specs(o.workloads)
+		var force bool
+		if err == nil {
+			force, err = traceRateOverride(ws, o.rateExplicit)
 		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "netsim: %v\n", err)
+			os.Exit(2)
+		}
+		if force {
+			o.rates = "1" // traces replay/scale as recorded unless -rates says otherwise
+		}
+		wspecs = ws
 	}
 	for _, tp := range topos {
 		if err := sim.CheckTopology(tp.Topo); err != nil {

@@ -96,14 +96,22 @@ func (s Scenario) CacheKey() (string, bool) {
 // are normalized first so that parameter spellings the engine cannot
 // distinguish hash identically: Wavelengths 0 and 1 are the same engine,
 // a fault spec with Count 0 is fault-free regardless of its other fields,
-// and workload parameters that the selected kind ignores are zeroed.
+// workload parameters that the selected kind ignores are zeroed, and the
+// rate normalizes to 1 where the generator would treat it so (event
+// traces replay verbatim at any rate; rate traces treat a scale <= 0 as
+// 1).
 func writeKeyFields(h hash.Hash, s Scenario) {
 	waves := s.Wavelengths
 	if waves < 1 {
 		waves = 1
 	}
+	rate := s.Rate
+	if s.Workload.Kind == workload.KindTrace &&
+		(s.Workload.TraceForm == workload.TraceEvents || rate <= 0) {
+		rate = 1
+	}
 	fmt.Fprintf(h, "rate %s\nseed %d\nmode %d\nwavelengths %d\nmaxqueue %d\nslots %d\ndrain %d\n",
-		canonFloat(s.Rate), s.Seed, s.Mode, waves, s.MaxQueue, s.Slots, s.Drain)
+		canonFloat(rate), s.Seed, s.Mode, waves, s.MaxQueue, s.Slots, s.Drain)
 
 	f := s.Fault
 	if f.IsZero() {
@@ -125,6 +133,17 @@ func writeKeyFields(h hash.Hash, s Scenario) {
 	case workload.KindBursty: // ignores group structure
 		fmt.Fprintf(h, "workload bursty %s %s %s\n",
 			canonFloat(w.MeanOn), canonFloat(w.MeanOff), canonFloat(w.OffFactor))
+	case workload.KindTrace:
+		// Content-addressed: the fingerprint of the trace bytes, never the
+		// path, so renaming or relocating a trace is a warm cache hit while
+		// editing one record recomputes every affected point.
+		fmt.Fprintf(h, "workload trace %d %s\n", w.TraceForm, w.TraceFP)
+	case workload.KindMultiPeriod: // ignores group structure
+		fmt.Fprintf(h, "workload multiperiod %d %s %s %s %s %s %s %s\n",
+			w.Period, canonFloat(w.Amplitude),
+			canonFloat(w.EpisodeOn), canonFloat(w.EpisodeOff),
+			canonFloat(w.MeanOn), canonFloat(w.MeanOff),
+			canonFloat(w.RateSigma), canonFloat(w.OffFactor))
 	default: // uniform — ignores every parameter
 		fmt.Fprint(h, "workload uniform\n")
 	}

@@ -255,7 +255,10 @@ func TestBadRequests(t *testing.T) {
 		"bad mode":      `{"topologies":[{"net":"sk"}],"modes":["fly"]}`,
 		"bad rate":      `{"topologies":[{"net":"sk"}],"rates":[1.5]}`,
 		"bad workload":  `{"topologies":[{"net":"sk"}],"workloads":[{"kind":"chaos"}]}`,
-		"hot group oob": `{"topologies":[{"net":"sk","s":3,"d":2,"k":2}],"workloads":[{"kind":"hotspot","hot_group":99}]}`,
+		"hot group neg": `{"topologies":[{"net":"sk","s":3,"d":2,"k":2}],"workloads":[{"kind":"hotspot","hot_group":-1}]}`,
+		"traceless":     `{"topologies":[{"net":"sk"}],"workloads":[{"kind":"trace"}]}`,
+		"trace + rates": `{"topologies":[{"net":"sk"}],"rates":[0.3],"workloads":[{"kind":"trace","trace_file":"testdata/burst_events.ndjson"}]}`,
+		"bad mperiod":   `{"topologies":[{"net":"sk"}],"workloads":[{"kind":"multiperiod","amplitude":2}]}`,
 		"bad fault":     `{"topologies":[{"net":"sk"}],"faults":[{"kind":"node","count":1,"mtbf":5}]}`,
 		"bad replicas":  `{"topologies":[{"net":"sk"}],"replicas":-3}`,
 	} {

@@ -41,14 +41,27 @@ type GridSpec struct {
 	Priority int `json:"priority,omitempty"`
 }
 
-// WorkloadSpec is the JSON form of workload.Spec.
+// WorkloadSpec is the JSON form of workload.Spec. Trace workloads name a
+// file: the submitting client and every worker re-expanding the grid scan
+// the file at the given path themselves, so it must be readable at the
+// same path on every machine that runs the job — a mismatch surfaces as a
+// scan error or a cache-key mismatch at merge time, never as silently
+// divergent traffic.
 type WorkloadSpec struct {
-	Kind      string  `json:"kind"` // uniform, transpose, hotspot or bursty
+	Kind      string  `json:"kind"` // uniform, transpose, hotspot, bursty, trace or multiperiod
 	HotGroup  int     `json:"hot_group,omitempty"`
 	Fraction  float64 `json:"fraction,omitempty"`
 	MeanOn    float64 `json:"mean_on,omitempty"`
 	MeanOff   float64 `json:"mean_off,omitempty"`
 	OffFactor float64 `json:"off_factor,omitempty"`
+	// TraceFile is the trace path for kind "trace".
+	TraceFile string `json:"trace_file,omitempty"`
+	// Period..RateSigma parameterize kind "multiperiod".
+	Period     int     `json:"period,omitempty"`
+	Amplitude  float64 `json:"amplitude,omitempty"`
+	EpisodeOn  float64 `json:"episode_on,omitempty"`
+	EpisodeOff float64 `json:"episode_off,omitempty"`
+	RateSigma  float64 `json:"rate_sigma,omitempty"`
 }
 
 // spec validates and converts to the sweep-axis value.
@@ -71,6 +84,19 @@ func (ws WorkloadSpec) spec() (workload.Spec, error) {
 			return workload.Spec{}, fmt.Errorf("bursty workload wants mean_on >= 1, mean_off >= 1 and off_factor in [0,1]")
 		}
 		return workload.Spec{Kind: kind, MeanOn: ws.MeanOn, MeanOff: ws.MeanOff, OffFactor: ws.OffFactor}, nil
+	case workload.KindTrace:
+		if ws.TraceFile == "" {
+			return workload.Spec{}, fmt.Errorf("trace workload names no trace_file")
+		}
+		return workload.NewTraceSpec(ws.TraceFile)
+	case workload.KindMultiPeriod:
+		spec := workload.Spec{
+			Kind: kind, Period: ws.Period, Amplitude: ws.Amplitude,
+			EpisodeOn: ws.EpisodeOn, EpisodeOff: ws.EpisodeOff,
+			MeanOn: ws.MeanOn, MeanOff: ws.MeanOff,
+			RateSigma: ws.RateSigma, OffFactor: ws.OffFactor,
+		}
+		return spec, spec.Validate()
 	default:
 		return workload.Spec{Kind: kind}, nil
 	}
@@ -193,24 +219,34 @@ func (gs GridSpec) grid(build func(sweep.TopoSpec) (sweep.Topology, error)) (swe
 			return sweep.Grid{}, fmt.Errorf("unknown mode %q (want sf or deflect)", m)
 		}
 	}
+	// Hotspot hot_group is deliberately not range-checked against the
+	// topologies: workload.Hotspot documents modulo-group semantics, so any
+	// non-negative index is valid on every topology in a mixed-scale sweep
+	// (the per-first-topology rejection this replaces contradicted that
+	// contract).
+	eventTraces, otherKinds := 0, 0
 	for _, ws := range gs.Workloads {
 		spec, err := ws.spec()
 		if err != nil {
 			return sweep.Grid{}, err
 		}
-		if spec.Kind == workload.KindHotspot {
-			for _, topo := range g.Topologies {
-				groups := topo.Topo.Nodes()
-				if topo.GroupSize > 1 {
-					groups = topo.Topo.Nodes() / topo.GroupSize
-				}
-				if spec.HotGroup >= groups {
-					return sweep.Grid{}, fmt.Errorf("hotspot hot_group %d out of range (%s has %d groups)",
-						spec.HotGroup, topo.Name, groups)
-				}
-			}
+		if spec.Kind == workload.KindTrace && spec.TraceForm == workload.TraceEvents {
+			eventTraces++
+		} else {
+			otherKinds++
 		}
 		g.Workloads = append(g.Workloads, spec)
+	}
+	if eventTraces > 0 {
+		// Event traces replay verbatim: a rate axis cannot be honored, so
+		// reject one rather than emit rows whose rate column lies.
+		if len(g.Rates) > 0 {
+			return sweep.Grid{}, fmt.Errorf("event-form trace workloads replay verbatim; omit rates (or use a rates-form trace to scale)")
+		}
+		if otherKinds > 0 {
+			return sweep.Grid{}, fmt.Errorf("event-form trace workloads cannot share a grid with rate-driven workloads (the rate axis applies to all)")
+		}
+		g.Rates = []float64{1}
 	}
 	for _, fs := range gs.Faults {
 		spec, err := fs.spec()

@@ -1,0 +1,110 @@
+package sweepserver_test
+
+// The distributed path of trace workloads: a leased-shard job whose grid
+// replays a trace file must reproduce the in-process run bit for bit.
+// Every worker re-scans the trace at the submitted path (the file is the
+// source of truth; only its fingerprint travels in cache keys), so this
+// also exercises the file-visibility contract documented on
+// WorkloadSpec.TraceFile.
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"otisnet/internal/sweep"
+	"otisnet/internal/sweepserver"
+	"otisnet/internal/workload"
+)
+
+func TestDistributedTraceJobMatchesDirectRun(t *testing.T) {
+	// Synthesize an event trace at a shared temp path — workers and the
+	// submitting side must both read it there.
+	path := filepath.Join(t.TempDir(), "day.ndjson")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	synth := workload.SynthSpec{Form: workload.TraceEvents, NDJSON: true, Slots: 200, Nodes: 36, Peak: 0.4, Seed: 9}
+	if err := workload.SynthesizeTrace(f, synth); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	ts := newTestServer(t)
+	startWorkers(t, ts, 2, sweepserver.PointsFromSpec)
+
+	spec := sweepserver.GridSpec{
+		Topologies: []sweep.TopoSpec{
+			{Net: "sk", S: 3, D: 2, K: 2},
+			{Net: "sk", S: 6, D: 3, K: 2},
+		},
+		Seeds:     []int64{1, 2},
+		Slots:     250,
+		Drain:     250,
+		Workloads: []sweepserver.WorkloadSpec{{Kind: "trace", TraceFile: path}},
+		Shards:    3,
+	}
+	st := submit(t, ts, spec)
+
+	grid, err := spec.Grid()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(grid.Rates) != 1 || grid.Rates[0] != 1 {
+		t.Fatalf("event-trace grid rates = %v, want the forced [1]", grid.Rates)
+	}
+	points := grid.Points()
+	want := sweep.Runner{}.Run(points)
+
+	events := stream(t, ts, st.ID)
+	if len(events) != len(points) {
+		t.Fatalf("stream delivered %d events, want %d", len(events), len(points))
+	}
+	for _, ev := range events {
+		if ev.Record != sweep.NewRecord(want[ev.Index]) {
+			t.Fatalf("distributed trace point %d: %+v differs from direct run %+v",
+				ev.Index, ev.Record, sweep.NewRecord(want[ev.Index]))
+		}
+	}
+
+	var got sweepserver.Status
+	getJSON(t, ts, "/api/v1/sweeps/"+st.ID, &got)
+	if got.State != "done" || got.ShardsDone != 3 {
+		t.Fatalf("terminal status %+v", got)
+	}
+}
+
+// TestDistributedTraceUnreadableFileRejectedAtSubmit pins where the
+// file-visibility contract is enforced: the server re-scans the trace
+// while expanding the grid at submit time, so a path nobody can read is a
+// 400, not a job that hangs while workers abandon unbuildable leases.
+func TestDistributedTraceUnreadableFileRejectedAtSubmit(t *testing.T) {
+	ts := newTestServer(t)
+	startWorkers(t, ts, 1, sweepserver.PointsFromSpec)
+
+	spec := sweepserver.GridSpec{
+		Topologies: []sweep.TopoSpec{{Net: "sk", S: 3, D: 2, K: 2}},
+		Workloads: []sweepserver.WorkloadSpec{
+			{Kind: "trace", TraceFile: filepath.Join(t.TempDir(), "never-written.csv")},
+		},
+		Shards: 2,
+	}
+	body, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/api/v1/sweeps", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unreadable trace file: status %d, want 400", resp.StatusCode)
+	}
+}

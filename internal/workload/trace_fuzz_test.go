@@ -1,0 +1,73 @@
+package workload
+
+// FuzzTraceWorkload feeds arbitrary bytes through the trace pipeline:
+// ScanTrace must classify them (a clean error or a valid TraceInfo),
+// never panic, and any input it accepts must then replay — twice, from
+// independent Trace values — bit for bit and without panicking. This is
+// the scan-then-replay contract from the package docs: all input
+// validation happens at scan time, so replay panics are reserved for
+// environmental divergence (the file changing underneath the run).
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"otisnet/internal/sim"
+)
+
+func FuzzTraceWorkload(f *testing.F) {
+	// Valid seeds: both forms, both encodings, headers, comments, CRLF.
+	f.Add([]byte("0,1,2\n1,2,3\n"))
+	f.Add([]byte("slot,rate\n0,0.5\n10,0\n20,1\n"))
+	f.Add([]byte("# day trace\nslot,src,dst\n0,4,7\r\n0,9,1\r\n3,2,0\n"))
+	f.Add([]byte(`{"slot":0,"src":1,"dst":2}` + "\n" + `{"slot":5,"rate":0.25}` + "\n"))
+	f.Add([]byte(`{"slot":2,"rate":0.75}` + "\n"))
+	// Invalid seeds: decreasing slots, mixed forms, malformed records.
+	f.Add([]byte("5,1,2\n3,2,1\n"))
+	f.Add([]byte("0,1,2\n1,0.5\n"))
+	f.Add([]byte("0,1\n,\nnot a record\n"))
+	f.Add([]byte{0xff, 0xfe, 0x00, 0x2c})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		path := filepath.Join(t.TempDir(), "fuzz.trace")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		info, err := ScanTrace(path) // must not panic on any input
+		if err != nil {
+			return
+		}
+		if info.Records < 1 || info.Fingerprint == "" {
+			t.Fatalf("ScanTrace accepted %q with info %+v", data, info)
+		}
+
+		// Accepted input must replay deterministically past the last
+		// recorded slot, for node counts above and below the id range.
+		for _, n := range []int{2, 97} {
+			slots := info.MaxSlot + 3
+			replay := func() [][]sim.Injection {
+				tr := &Trace{Path: path, Form: info.Form}
+				rng := rand.New(rand.NewSource(42))
+				out := make([][]sim.Injection, slots)
+				for s := 0; s < slots; s++ {
+					out[s] = append([]sim.Injection(nil), tr.Generate(nil, s, n, rng)...)
+				}
+				return out
+			}
+			a, b := replay(), replay()
+			if !reflect.DeepEqual(a, b) {
+				t.Fatalf("n=%d: independent replays of an accepted trace diverged", n)
+			}
+			for s, injs := range a {
+				for _, inj := range injs {
+					if inj.Src < 0 || inj.Src >= n || inj.Dst < 0 || inj.Dst >= n || inj.Src == inj.Dst {
+						t.Fatalf("n=%d slot %d: replay emitted invalid injection %d->%d", n, s, inj.Src, inj.Dst)
+					}
+				}
+			}
+		}
+	})
+}

@@ -88,6 +88,15 @@ func (t Transpose) Generate(buf []sim.Injection, _, n int, rng *rand.Rand) []sim
 // active. GroupSize 0 or 1 makes the hot group a single node. Group is
 // taken modulo the network's group count, so one spec is safe across
 // topologies of different scale in the same sweep.
+//
+// When n is not a multiple of GroupSize, the group count truncates to
+// n/GroupSize: the tail n mod GroupSize nodes still send (and receive
+// uniform fallback traffic) but belong to no group, so they are never hot
+// destinations, and Group wraps at the truncated count. This is pinned
+// deliberately (TestHotspotRemainderTailNeverHot) — every seeded stream
+// on a ragged topology stays reproducible — rather than rejecting the
+// remainder case and breaking sweeps that mix group-structured and flat
+// topologies.
 type Hotspot struct {
 	Rate float64
 	// Group is the hot group index; GroupSize its member count.

@@ -30,6 +30,8 @@ func testSpecs() []Spec {
 		{Kind: KindTranspose},
 		{Kind: KindHotspot, HotGroup: 2, Fraction: 0.4},
 		{Kind: KindBursty, MeanOn: 20, MeanOff: 60, OffFactor: 0.1},
+		{Kind: KindMultiPeriod, Period: 200, Amplitude: 0.6, EpisodeOn: 40, EpisodeOff: 80,
+			MeanOn: 10, MeanOff: 30, RateSigma: 0.35, OffFactor: 0.1},
 	}
 }
 
@@ -159,6 +161,40 @@ func TestHotspotGroupWrapsAcrossScales(t *testing.T) {
 	}
 }
 
+// TestHotspotRemainderTailNeverHot pins the documented ragged-topology
+// semantics: when n is not a multiple of GroupSize, the tail n mod
+// GroupSize nodes still send but are never hot destinations, and the
+// group index wraps at the truncated count n/GroupSize.
+func TestHotspotRemainderTailNeverHot(t *testing.T) {
+	const n, gs = 70, 6 // 11 whole groups + a 4-node tail (66..69)
+	groups := n / gs
+	for group := 0; group < 2*groups; group++ {
+		h := Hotspot{Rate: 1.0, Group: group, GroupSize: gs, Fraction: 1.0}
+		wantLo := (group % groups) * gs
+		wantHi := wantLo + gs
+		tailSent := false
+		for _, injs := range stream(h, 30, n, int64(group+1)) {
+			for _, inj := range injs {
+				if inj.Src >= groups*gs {
+					tailSent = true
+				}
+				// Non-hot senders redirect with probability 1, so their
+				// destinations — tail senders' included — land in the hot
+				// range, which never covers the tail. (Hot-group members
+				// fall back to uniform destinations and may reach the tail.)
+				fromHot := inj.Src >= wantLo && inj.Src < wantHi
+				if !fromHot && (inj.Dst < wantLo || inj.Dst >= wantHi) {
+					t.Fatalf("group %d: injection %d->%d missed hot range [%d,%d)",
+						group, inj.Src, inj.Dst, wantLo, wantHi)
+				}
+			}
+		}
+		if !tailSent {
+			t.Fatalf("group %d: tail nodes never injected at rate 1", group)
+		}
+	}
+}
+
 func TestBurstyModulatesLoad(t *testing.T) {
 	const n, slots = 20, 2000
 	b := &Bursty{OnRate: 1.0, OffRate: 0, MeanOn: 10, MeanOff: 10}
@@ -218,6 +254,9 @@ func TestSpecLabelsAndParse(t *testing.T) {
 		"transpose":         {Kind: KindTranspose},
 		"hotspot(g2,0.4)":   {Kind: KindHotspot, HotGroup: 2, Fraction: 0.4},
 		"bursty(20/60,0.1)": {Kind: KindBursty, MeanOn: 20, MeanOff: 60, OffFactor: 0.1},
+		"multiperiod(p200;a0.6;ep40/80;fl10/30;s0.35;lo0.1)": {Kind: KindMultiPeriod,
+			Period: 200, Amplitude: 0.6, EpisodeOn: 40, EpisodeOff: 80,
+			MeanOn: 10, MeanOff: 30, RateSigma: 0.35, OffFactor: 0.1},
 	}
 	for want, spec := range cases {
 		if got := spec.Label(); got != want {

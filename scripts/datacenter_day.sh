@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# The "datacenter day" experiment: replay one empirical diurnal trace
+# (examples/traces/day_rates.csv, a rates-form trace synthesized by
+# `netsim synthtrace`) across the paper's comparable-scale trio —
+# SK(6,3,2), POPS(9,8) and the de Bruijn baseline — so the three
+# topologies are compared under the *same* recorded load curve instead of
+# a synthetic steady state. Every run goes through the content-addressed
+# result cache keyed by the trace's byte fingerprint: rerunning this
+# script with an untouched trace is a pure warm hit, and editing one
+# record of the trace recomputes everything.
+#
+# Usage: scripts/datacenter_day.sh                 # table on stdout
+#        TRACE=path.csv scripts/datacenter_day.sh  # replay another trace
+#        SEEDS=5 SLOTS=2000 scripts/datacenter_day.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+TRACE="${TRACE:-examples/traces/day_rates.csv}"
+SEEDS="${SEEDS:-3}"
+SLOTS="${SLOTS:-1000}"
+
+go run ./cmd/netsim -net all -sweep \
+  -workload trace -tracefile "$TRACE" \
+  -seeds "$SEEDS" -slots "$SLOTS" -drain "$SLOTS" \
+  -format table "$@"
